@@ -1,0 +1,152 @@
+// Command gqa-cli is an interactive natural-language question answering
+// shell over an RDF graph.
+//
+// Usage:
+//
+//	gqa-cli [-graph graph.nt -dict dict.tsv] [-explain] [question ...]
+//
+// Without -graph/-dict it runs over the bundled mini-DBpedia benchmark
+// knowledge base with a freshly mined paraphrase dictionary. Questions
+// given as arguments are answered and the program exits; otherwise a REPL
+// starts. Lines starting with "sparql " are evaluated as SPARQL instead.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gqa"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "N-Triples graph file (default: bundled mini-DBpedia)")
+	dictPath := flag.String("dict", "", "paraphrase dictionary file (gqa-mine output)")
+	explain := flag.Bool("explain", false, "show the top matches behind each answer")
+	aggregate := flag.Bool("aggregate", false, "enable the counting/superlative extension")
+	flag.Parse()
+
+	sys, err := buildSystem(*graphPath, *dictPath, *aggregate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gqa-cli:", err)
+		os.Exit(1)
+	}
+
+	if flag.NArg() > 0 {
+		for _, q := range flag.Args() {
+			ask(sys, q, *explain)
+		}
+		return
+	}
+
+	fmt.Println("gqa — natural language question answering over RDF")
+	fmt.Println(`type a question, "sparql <query>", or "quit"`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("? ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "quit" || line == "exit":
+			return
+		case strings.HasPrefix(line, "sparql "):
+			runSPARQL(sys, strings.TrimPrefix(line, "sparql "))
+		default:
+			ask(sys, line, *explain)
+		}
+	}
+}
+
+func buildSystem(graphPath, dictPath string, aggregate bool) (*gqa.System, error) {
+	var (
+		sys *gqa.System
+		err error
+	)
+	if graphPath == "" {
+		sys, err = gqa.BenchmarkSystem()
+	} else {
+		if dictPath == "" {
+			return nil, fmt.Errorf("-dict is required with -graph (mine one with gqa-mine)")
+		}
+		var gf, df *os.File
+		if gf, err = os.Open(graphPath); err != nil {
+			return nil, err
+		}
+		defer gf.Close()
+		if df, err = os.Open(dictPath); err != nil {
+			return nil, err
+		}
+		defer df.Close()
+		sys, err = gqa.LoadSystem(gf, df)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if aggregate {
+		sys.SetAggregation(true)
+		// Common DBpedia-flavored superlatives.
+		sys.RegisterSuperlative("youngest", "http://dbpedia.org/ontology/age", false)
+		sys.RegisterSuperlative("oldest", "http://dbpedia.org/ontology/age", true)
+		sys.RegisterSuperlative("highest", "http://dbpedia.org/ontology/elevation", true)
+		sys.RegisterSuperlative("tallest", "http://dbpedia.org/ontology/height", true)
+	}
+	return sys, nil
+}
+
+func ask(sys *gqa.System, question string, explain bool) {
+	if explain {
+		ans, lines, err := sys.Explain(question)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printAnswer(ans)
+		for _, l := range lines {
+			fmt.Println("   ", l)
+		}
+		return
+	}
+	ans, err := sys.Answer(question)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	printAnswer(ans)
+}
+
+func printAnswer(ans *gqa.Answer) {
+	switch {
+	case ans.Boolean != nil:
+		fmt.Printf("→ %v  (%.1fms)\n", *ans.Boolean, ms(ans))
+	case ans.OK:
+		fmt.Printf("→ %s  (%.1fms)\n", strings.Join(ans.Labels, "; "), ms(ans))
+	default:
+		fmt.Printf("→ no answer (%s)\n", ans.Failure)
+	}
+}
+
+func ms(ans *gqa.Answer) float64 { return float64(ans.Total.Microseconds()) / 1000 }
+
+func runSPARQL(sys *gqa.System, query string) {
+	res, err := sys.Query(query)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(res.Rows) == 0 {
+		fmt.Printf("→ boolean: %v\n", res.Boolean)
+		return
+	}
+	for _, row := range res.Rows {
+		parts := make([]string, 0, len(res.Vars))
+		for _, v := range res.Vars {
+			parts = append(parts, "?"+v+"="+row[v].String())
+		}
+		fmt.Println("  ", strings.Join(parts, " "))
+	}
+}

@@ -1,0 +1,65 @@
+package gqa
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAnswer exercises the facade's concurrency contract: a
+// built System serves questions from many goroutines (run under -race in
+// CI via `go test -race ./...`).
+func TestConcurrentAnswer(t *testing.T) {
+	sys := benchmarkSystem(t)
+	questions := []string{
+		"Who is the mayor of Berlin?",
+		"Which movies did Antonio Banderas star in?",
+		"Who was married to an actor that played in Philadelphia?",
+		"Is Berlin the capital of Germany?",
+		"Give me all companies in Munich.",
+		"Who is the uncle of John F. Kennedy Jr.?",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(questions)*8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, q := range questions {
+				ans, err := sys.Answer(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if i%2 == 0 && !ans.OK && ans.Boolean == nil {
+					errs <- ErrNoAnswer
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSPARQL: the query path is read-only too.
+func TestConcurrentSPARQL(t *testing.T) {
+	sys := benchmarkSystem(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				res, err := sys.Query(`SELECT ?f WHERE { ?f dbo:starring dbr:Antonio_Banderas }`)
+				if err != nil || len(res.Rows) != 3 {
+					t.Errorf("concurrent query: %v / %d rows", err, len(res.Rows))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

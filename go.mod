@@ -1,0 +1,3 @@
+module gqa
+
+go 1.22

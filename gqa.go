@@ -1,0 +1,272 @@
+// Package gqa is a graph data-driven natural-language question answering
+// engine over RDF, reproducing Zou et al., "Natural Language Question
+// Answering over RDF — A Graph Data Driven Approach" (SIGMOD 2014).
+//
+// The engine answers questions like "Who was married to an actor that
+// played in Philadelphia?" directly against an RDF graph. Instead of
+// disambiguating the question into a single SPARQL query up front, it
+// builds a semantic query graph that keeps every candidate meaning of
+// every phrase and lets subgraph matching over the data decide: a
+// candidate mapping is correct exactly when a matching subgraph exists.
+//
+// # Quick start
+//
+//	sys, err := gqa.LoadSystem(graphFile, dictFile)
+//	...
+//	ans, err := sys.Answer("Who is the mayor of Berlin?")
+//	fmt.Println(ans.Labels) // [Klaus Wowereit]
+//
+// Use BenchmarkSystem for a self-contained engine over the bundled
+// mini-DBpedia knowledge base with a freshly mined paraphrase dictionary.
+//
+// The deeper layers are importable individually for advanced use:
+// internal/store (the triple store), internal/dict (Algorithm 1 offline
+// mining), internal/nlp (the dependency parser), internal/core (semantic
+// query graphs and top-k matching), internal/sparql (a SPARQL subset), and
+// internal/deanna (the DEANNA joint-disambiguation baseline).
+package gqa
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"gqa/internal/bench"
+	"gqa/internal/core"
+	"gqa/internal/dict"
+	"gqa/internal/rdf"
+	"gqa/internal/sparql"
+	"gqa/internal/store"
+)
+
+// Options configures a System.
+type Options struct {
+	// TopK is the number of distinct match scores retained (default 10,
+	// as in the paper's experiments).
+	TopK int
+	// MaxCandidates caps each argument's entity-linking candidate list
+	// (default 10).
+	MaxCandidates int
+	// DisableHeuristicRules turns off the four argument heuristics of
+	// §4.1.2 (the Table 9 ablation).
+	DisableHeuristicRules bool
+	// EnableAggregation turns on the counting/superlative extension (the
+	// paper's future work). Superlative adjectives are interpreted via
+	// RegisterSuperlative.
+	EnableAggregation bool
+}
+
+// System is a ready-to-query Q/A engine: an RDF graph, a paraphrase
+// dictionary, and the online pipeline. Safe for concurrent use once built.
+type System struct {
+	graph *store.Graph
+	dict  *dict.Dictionary
+	core  *core.System
+}
+
+// NewSystem assembles a System from a loaded graph and dictionary. A nil
+// dictionary starts empty (mine one with MineDictionary).
+func NewSystem(g *store.Graph, d *dict.Dictionary, opts Options) *System {
+	if d == nil {
+		d = dict.New()
+	}
+	return &System{
+		graph: g,
+		dict:  d,
+		core: core.NewSystem(g, d, core.Options{
+			TopK:                  opts.TopK,
+			MaxVertexCandidates:   opts.MaxCandidates,
+			DisableHeuristicRules: opts.DisableHeuristicRules,
+			EnableAggregation:     opts.EnableAggregation,
+		}),
+	}
+}
+
+// SetAggregation toggles the counting/superlative extension at runtime.
+func (s *System) SetAggregation(on bool) { s.core.Opts.EnableAggregation = on }
+
+// RegisterSuperlative teaches the aggregation extension how to interpret a
+// superlative adjective: rank candidate answers by the numeric object of
+// predIRI, taking the maximum (max=true: "oldest") or minimum ("youngest").
+func (s *System) RegisterSuperlative(adjective, predIRI string, max bool) bool {
+	id, ok := s.graph.LookupIRI(predIRI)
+	if !ok {
+		return false
+	}
+	s.core.RegisterSuperlative(adjective, id, max)
+	return true
+}
+
+// LoadSystem reads an N-Triples graph and an encoded paraphrase dictionary
+// (the gqa-mine output format) and assembles a System with default
+// options.
+func LoadSystem(graph, dictionary io.Reader) (*System, error) {
+	g := store.New()
+	if err := g.Load(graph); err != nil {
+		return nil, fmt.Errorf("gqa: loading graph: %w", err)
+	}
+	d, err := dict.Decode(dictionary, g)
+	if err != nil {
+		return nil, fmt.Errorf("gqa: loading dictionary: %w", err)
+	}
+	return NewSystem(g, d, Options{}), nil
+}
+
+// BenchmarkSystem builds a self-contained System over the bundled
+// mini-DBpedia knowledge base, mining its paraphrase dictionary on the
+// spot (Algorithm 1). It is the zero-setup way to try the engine.
+func BenchmarkSystem() (*System, error) {
+	g, err := bench.BuildKB()
+	if err != nil {
+		return nil, err
+	}
+	d, _, err := bench.BuildDictionary(g)
+	if err != nil {
+		return nil, err
+	}
+	return NewSystem(g, d, Options{}), nil
+}
+
+// MineDictionary runs the offline stage (Algorithm 1) over the system's
+// graph with the given relation-phrase support sets and replaces the
+// system's dictionary with the result.
+func (s *System) MineDictionary(sets []dict.SupportSet, maxPathLen, topK int) {
+	d, _ := dict.Mine(s.graph, sets, dict.MineOptions{MaxPathLen: maxPathLen, TopK: topK})
+	s.dict = d
+	s.core.Dict = d
+}
+
+// Graph exposes the underlying triple store (read-only use expected).
+func (s *System) Graph() *store.Graph { return s.graph }
+
+// Dictionary exposes the paraphrase dictionary.
+func (s *System) Dictionary() *dict.Dictionary { return s.dict }
+
+// Answer holds the outcome of one question.
+type Answer struct {
+	// Labels are the human-readable answers, best first.
+	Labels []string
+	// IRIs are the answer terms in N-Triples syntax, aligned with Labels.
+	IRIs []string
+	// Boolean is set for yes/no questions.
+	Boolean *bool
+	// OK reports whether the engine produced an answer.
+	OK bool
+	// Failure explains an unanswered question: "aggregation",
+	// "entity-linking", "relation-extraction", "no-match", or "".
+	Failure string
+	// QueryGraph renders the semantic query graph Q^S built for the
+	// question — the structural representation of the query intention.
+	QueryGraph string
+	// SPARQL is the fully disambiguated SPARQL query corresponding to the
+	// best match (Algorithm 3's "top-k SPARQL queries" artifact), when one
+	// exists. It evaluates to the same answers on the same graph and can
+	// be exported to any SPARQL endpoint.
+	SPARQL string
+	// Understanding and Total are the stage timings of Figure 6.
+	Understanding time.Duration
+	Total         time.Duration
+}
+
+// Answer runs the full online pipeline on a natural-language question.
+func (s *System) Answer(question string) (*Answer, error) {
+	res, err := s.core.Answer(question)
+	if err != nil {
+		return nil, err
+	}
+	out := &Answer{
+		Boolean:       res.Boolean,
+		Understanding: res.Timing.Understanding,
+		Total:         res.Timing.Total,
+	}
+	if res.Query != nil {
+		out.QueryGraph = res.Query.String()
+	}
+	if res.Failure != core.FailureNone {
+		out.Failure = res.Failure.String()
+		return out, nil
+	}
+	out.OK = res.Boolean != nil || len(res.Answers) > 0 || res.Count != nil
+	for _, id := range res.Answers {
+		out.Labels = append(out.Labels, s.graph.LabelOf(id))
+		out.IRIs = append(out.IRIs, s.graph.Term(id).String())
+	}
+	if res.Count != nil {
+		out.Labels = append(out.Labels, fmt.Sprintf("%d", *res.Count))
+		out.IRIs = append(out.IRIs, fmt.Sprintf(`"%d"`, *res.Count))
+	}
+	if len(res.Matches) > 0 && res.Query != nil {
+		if sq, err := core.ResolvedSPARQL(s.graph, res.Query, &res.Matches[0]); err == nil {
+			out.SPARQL = sq.String()
+		}
+	}
+	return out, nil
+}
+
+// Query evaluates a SPARQL query (SELECT/ASK over basic graph patterns)
+// against the graph — the power-user path next to natural language.
+func (s *System) Query(query string) (*sparql.Result, error) {
+	return sparql.EvalString(s.graph, query)
+}
+
+// Explain answers a question and additionally renders each top match:
+// which entities and predicate paths realized the query graph — the
+// resolved disambiguation of §4.2.1.
+func (s *System) Explain(question string) (*Answer, []string, error) {
+	res, err := s.core.Answer(question)
+	if err != nil {
+		return nil, nil, err
+	}
+	ans, err := s.Answer(question)
+	if err != nil {
+		return nil, nil, err
+	}
+	var lines []string
+	for _, m := range res.Matches {
+		line := fmt.Sprintf("score=%.3f:", m.Score)
+		for vi, u := range m.Assignment {
+			label := s.graph.LabelOf(u)
+			if m.Via[vi] != store.None {
+				label += " (a " + s.graph.LabelOf(m.Via[vi]) + ")"
+			}
+			line += fmt.Sprintf(" %q→%s", res.Query.Vertices[vi].Arg.Text, label)
+		}
+		for ei, p := range m.EdgePaths {
+			line += fmt.Sprintf(" [%s via %s]", res.Query.Edges[ei].Phrase.Text, p.Render(s.graph))
+		}
+		lines = append(lines, line)
+	}
+	return ans, lines, nil
+}
+
+// ErrNoAnswer is a sentinel some callers prefer over inspecting Failure.
+var ErrNoAnswer = errors.New("gqa: no answer found")
+
+// SaveGraph serializes a graph as N-Triples, sorted deterministically.
+func SaveGraph(w io.Writer, g *store.Graph) error {
+	triples := g.Triples()
+	sort.Slice(triples, func(i, j int) bool { return triples[i].Compare(triples[j]) < 0 })
+	return rdf.Write(w, triples)
+}
+
+// SaveSnapshot writes the graph in the compact binary snapshot format,
+// which loads an order of magnitude faster than N-Triples.
+func SaveSnapshot(w io.Writer, g *store.Graph) error { return g.Snapshot(w) }
+
+// LoadSystemSnapshot assembles a System from a binary graph snapshot and
+// an encoded dictionary.
+func LoadSystemSnapshot(snapshot, dictionary io.Reader) (*System, error) {
+	g, err := store.LoadSnapshot(snapshot)
+	if err != nil {
+		return nil, fmt.Errorf("gqa: loading snapshot: %w", err)
+	}
+	d, err := dict.Decode(dictionary, g)
+	if err != nil {
+		return nil, fmt.Errorf("gqa: loading dictionary: %w", err)
+	}
+	return NewSystem(g, d, Options{}), nil
+}
+
+func writeGraph(w io.Writer, g *store.Graph) error { return SaveGraph(w, g) }

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+
+	"gqa/internal/core"
+	"gqa/internal/dict"
+	"gqa/internal/store"
+)
+
+// phraseSpec declares one relation phrase of the curated Patty-style
+// dataset: the phrase and the predicate whose (s, o) pairs support it. Path
+// phrases ("uncle of") list explicit support pairs instead.
+type phraseSpec struct {
+	phrase string
+	preds  []string    // ontology predicates supplying support pairs
+	pairs  [][2]string // explicit support pairs (resource names)
+}
+
+// phraseSpecs is the curated relation-phrase dataset over the mini-DBpedia.
+// Several phrases per predicate model paraphrase variety, exactly what the
+// Patty dataset supplies in the paper (§3, Table 2).
+var phraseSpecs = []phraseSpec{
+	{phrase: "be married to", preds: []string{"spouse"}},
+	{phrase: "be the husband of", preds: []string{"spouse"}},
+	{phrase: "be the wife of", preds: []string{"spouse"}},
+	{phrase: "play in", preds: []string{"starring"}},
+	{phrase: "star in", preds: []string{"starring"}},
+	{phrase: "act in", preds: []string{"starring"}},
+	{phrase: "be directed by", preds: []string{"director"}},
+	{phrase: "be the director of", preds: []string{"director"}},
+	{phrase: "direct", preds: []string{"director"}},
+	{phrase: "play for", preds: []string{"playForTeam"}},
+	{phrase: "be born in", preds: []string{"birthPlace"}},
+	{phrase: "be born", preds: []string{"birthPlace"}},
+	{phrase: "star", preds: []string{"starring"}},
+	{phrase: "elevation of", preds: []string{"elevation"}},
+	{phrase: "be headquartered", preds: []string{"headquarter", "locationCity"}},
+	{phrase: "die in", preds: []string{"deathPlace"}},
+	{phrase: "be the capital of", preds: []string{"capital"}},
+	{phrase: "be the mayor of", preds: []string{"mayor"}},
+	{phrase: "be the governor of", preds: []string{"governor"}},
+	{phrase: "be the successor of", preds: []string{"successor"}},
+	{phrase: "succeed", preds: []string{"successor"}},
+	{phrase: "be the father of", preds: []string{"father"}},
+	{phrase: "be the child of", preds: []string{"child"}},
+	{phrase: "be the children of", preds: []string{"child"}},
+	{phrase: "develop", preds: []string{"developer"}},
+	{phrase: "be developed by", preds: []string{"developer"}},
+	{phrase: "found", preds: []string{"foundedBy"}},
+	{phrase: "be founded by", preds: []string{"foundedBy"}},
+	{phrase: "produce", preds: []string{"producer"}},
+	{phrase: "be the producer of", preds: []string{"producer"}},
+	{phrase: "flow through", preds: []string{"city"}},
+	{phrase: "cross", preds: []string{"city"}},
+	{phrase: "be connected by", preds: []string{"country"}},
+	{phrase: "be located in", preds: []string{"locationCity", "country"}},
+	{phrase: "be headquartered in", preds: []string{"headquarter", "locationCity"}},
+	{phrase: "be the height of", preds: []string{"height"}},
+	{phrase: "be tall", preds: []string{"height"}},
+	{phrase: "be high", preds: []string{"elevation"}},
+	{phrase: "be the member of", preds: []string{"bandMember"}},
+	{phrase: "be the members of", preds: []string{"bandMember"}},
+	{phrase: "write", preds: []string{"author"}},
+	{phrase: "be written by", preds: []string{"author"}},
+	{phrase: "be published by", preds: []string{"publisher"}},
+	{phrase: "publish", preds: []string{"publisher"}},
+	{phrase: "create", preds: []string{"creator"}},
+	{phrase: "be the creator of", preds: []string{"creator"}},
+	{phrase: "be the nickname of", preds: []string{"nickname"}},
+	{phrase: "be called", preds: []string{"nickname"}},
+	{phrase: "be the birth name of", preds: []string{"birthName"}},
+	{phrase: "die on", preds: []string{"deathDate"}},
+	{phrase: "be the time zone of", preds: []string{"timeZone"}},
+	{phrase: "be the largest city in", preds: []string{"largestCity"}},
+	{phrase: "be manufactured by", preds: []string{"manufacturer"}},
+	{phrase: "be produced in", preds: []string{"assembly"}},
+	{phrase: "be assembled in", preds: []string{"assembly"}},
+	{phrase: "come from", preds: []string{"nationality"}},
+	{phrase: "be buried in", preds: []string{"restingPlace"}},
+	{phrase: "be fed by", preds: []string{"inflow"}},
+	{phrase: "die", preds: []string{"deathDate", "deathPlace"}},
+	{phrase: "mayor of", preds: []string{"mayor"}},
+	{phrase: "governor of", preds: []string{"governor"}},
+	{phrase: "capital of", preds: []string{"capital"}},
+	{phrase: "successor of", preds: []string{"successor"}},
+	{phrase: "father of", preds: []string{"father"}},
+	{phrase: "child of", preds: []string{"child"}},
+	{phrase: "member of", preds: []string{"bandMember"}},
+	{phrase: "husband of", preds: []string{"spouse"}},
+	{phrase: "wife of", preds: []string{"spouse"}},
+	{phrase: "creator of", preds: []string{"creator"}},
+	{phrase: "author of", preds: []string{"author"}},
+	{phrase: "director of", preds: []string{"director"}},
+	{phrase: "birth name of", preds: []string{"birthName"}},
+	{phrase: "birth name", preds: []string{"birthName"}},
+	// Bare noun relations carry possessive questions ("Amanda Palmer's
+	// husband"); embedding maximality still prefers "husband of" when the
+	// preposition is present.
+	{phrase: "husband", preds: []string{"spouse"}},
+	{phrase: "wife", preds: []string{"spouse"}},
+	{phrase: "mayor", preds: []string{"mayor"}},
+	{phrase: "father", preds: []string{"father"}},
+	{phrase: "capital", preds: []string{"capital"}},
+	{phrase: "successor", preds: []string{"successor"}},
+	{phrase: "governor", preds: []string{"governor"}},
+	{phrase: "nickname of", preds: []string{"nickname"}},
+	{phrase: "time zone of", preds: []string{"timeZone"}},
+	{phrase: "height of", preds: []string{"height"}},
+	{phrase: "headquarters of", preds: []string{"headquarter"}},
+	{phrase: "developer of", preds: []string{"developer"}},
+	{phrase: "founder of", preds: []string{"foundedBy"}},
+	{phrase: "in", preds: []string{"locationCity", "country", "playsIn"}},
+	{phrase: "play in the league", preds: []string{"playsIn"}},
+	{phrase: "be the uncle of", pairs: unclePairs},
+	{phrase: "uncle of", pairs: unclePairs},
+}
+
+var unclePairs = [][2]string{
+	{"Ted_Kennedy", "John_F_Kennedy_Jr"},
+	{"Robert_F_Kennedy", "John_F_Kennedy_Jr"},
+	{"Ted_Kennedy", "Caroline_Kennedy"},
+	{"Robert_F_Kennedy", "Caroline_Kennedy"},
+}
+
+// SupportSets derives the Patty-style support sets from the KB: for
+// predicate-backed phrases, every (s, o) pair of the predicate; for path
+// phrases, the declared pairs. A small amount of noise (pairs supporting
+// nothing) models Patty's imperfect extraction.
+func SupportSets(g *store.Graph) ([]dict.SupportSet, error) {
+	var out []dict.SupportSet
+	for _, spec := range phraseSpecs {
+		set := dict.SupportSet{Phrase: spec.phrase}
+		for _, pred := range spec.preds {
+			pid, ok := g.LookupIRI(storePred(pred))
+			if !ok {
+				return nil, fmt.Errorf("bench: phrase %q: unknown predicate %s", spec.phrase, pred)
+			}
+			g.Match(store.Any, pid, store.Any, func(t store.Spo) bool {
+				set.Pairs = append(set.Pairs, [2]store.ID{t.S, t.O})
+				return true
+			})
+		}
+		for _, p := range spec.pairs {
+			a, ok1 := g.LookupIRI(storeRes(p[0]))
+			b, ok2 := g.LookupIRI(storeRes(p[1]))
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("bench: phrase %q: unknown pair %v", spec.phrase, p)
+			}
+			set.Pairs = append(set.Pairs, [2]store.ID{a, b})
+		}
+		if len(set.Pairs) == 0 {
+			continue
+		}
+		out = append(out, set)
+	}
+	return out, nil
+}
+
+func storePred(name string) string { return "http://dbpedia.org/ontology/" + name }
+func storeRes(name string) string  { return "http://dbpedia.org/resource/" + name }
+
+// RegisterSuperlatives installs the mini-DBpedia's superlative
+// interpretations on a system (used with core.Options.EnableAggregation):
+// youngest/oldest rank by ⟨age⟩, highest/tallest by ⟨elevation⟩/⟨height⟩.
+func RegisterSuperlatives(sys *core.System, g *store.Graph) {
+	reg := func(adj, pred string, max bool) {
+		if id, ok := g.LookupIRI(storePred(pred)); ok {
+			sys.RegisterSuperlative(adj, id, max)
+		}
+	}
+	reg("youngest", "age", false)
+	reg("oldest", "age", true)
+	reg("highest", "elevation", true)
+	reg("tallest", "height", true)
+}
+
+// BuildDictionary mines the paraphrase dictionary for the mini-DBpedia
+// from the curated support sets (Algorithm 1 end to end), returning the
+// dictionary and mining statistics.
+func BuildDictionary(g *store.Graph) (*dict.Dictionary, dict.MineStats, error) {
+	sets, err := SupportSets(g)
+	if err != nil {
+		return nil, dict.MineStats{}, err
+	}
+	d, stats := dict.Mine(g, sets, dict.MineOptions{MaxPathLen: 4, TopK: 3})
+	return d, stats, nil
+}

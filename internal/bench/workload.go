@@ -1,0 +1,197 @@
+package bench
+
+import "gqa/internal/rdf"
+
+// Category stratifies the workload along the paper's failure taxonomy
+// (Table 10) plus the structural classes its correct answers span
+// (Table 11): simple one-edge questions, multi-edge joins, predicate-path
+// questions, type-only enumerations, and booleans.
+type Category int
+
+const (
+	CatSimple Category = iota
+	CatJoin
+	CatPath
+	CatTypeOnly
+	CatBoolean
+	CatAggregation
+	CatLinkHard
+	CatRelHard
+	CatOther
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatSimple:
+		return "simple"
+	case CatJoin:
+		return "join"
+	case CatPath:
+		return "path"
+	case CatTypeOnly:
+		return "type-only"
+	case CatBoolean:
+		return "boolean"
+	case CatAggregation:
+		return "aggregation"
+	case CatLinkHard:
+		return "entity-linking-hard"
+	case CatRelHard:
+		return "relation-extraction-hard"
+	case CatOther:
+		return "other"
+	}
+	return "unknown"
+}
+
+// Question is one workload item with its gold standard.
+type Question struct {
+	ID       string
+	Text     string
+	Gold     []rdf.Term // expected answer set (resources and/or literals)
+	Bool     *bool      // expected boolean, for ASK-style questions
+	Category Category
+}
+
+// Answerable reports whether the gold standard defines answers (false for
+// the deliberately unanswerable failure-taxonomy strata).
+func (q *Question) Answerable() bool {
+	return len(q.Gold) > 0 || q.Bool != nil
+}
+
+func bt(b bool) *bool { return &b }
+
+func gold(names ...string) []rdf.Term {
+	out := make([]rdf.Term, len(names))
+	for i, n := range names {
+		out[i] = r(n)
+	}
+	return out
+}
+
+// Workload returns the full QALD-3-style benchmark over the mini-DBpedia.
+// IDs echo the paper's Table 11 where a question is modeled on a specific
+// QALD-3 item.
+func Workload() []Question {
+	return []Question{
+		// --- Simple one-edge questions.
+		{ID: "Q2", Text: "Who was the successor of John F. Kennedy?", Gold: gold("Lyndon_B_Johnson"), Category: CatSimple},
+		{ID: "Q3", Text: "Who is the mayor of Berlin?", Gold: gold("Klaus_Wowereit"), Category: CatSimple},
+		{ID: "Q14", Text: "Give me all members of Prodigy.", Gold: gold("Liam_Howlett", "Keith_Flint", "Maxim_Reality"), Category: CatSimple},
+		{ID: "Q21", Text: "What is the capital of Canada?", Gold: gold("Ottawa"), Category: CatSimple},
+		{ID: "Q22", Text: "Who is the governor of Wyoming?", Gold: gold("Matt_Mead"), Category: CatSimple},
+		{ID: "Q24", Text: "Who was the father of Queen Elizabeth II?", Gold: gold("George_VI"), Category: CatSimple},
+		{ID: "Q28", Text: "Give me all movies directed by Francis Ford Coppola.", Gold: gold("The_Godfather", "Apocalypse_Now"), Category: CatSimple},
+		{ID: "Q30", Text: "What is the birth name of Angela Merkel?", Gold: []rdf.Term{lit("Angela Dorothea Kasner")}, Category: CatSimple},
+		{ID: "Q35", Text: "Who developed Minecraft?", Gold: gold("Markus_Persson"), Category: CatSimple},
+		{ID: "Q39", Text: "Give me all companies in Munich.", Gold: gold("BMW", "Siemens", "Allianz"), Category: CatSimple},
+		{ID: "Q41", Text: "Who founded Intel?", Gold: gold("Gordon_Moore", "Robert_Noyce"), Category: CatSimple},
+		{ID: "Q42", Text: "Who is the husband of Amanda Palmer?", Gold: gold("Neil_Gaiman"), Category: CatSimple},
+		{ID: "Q44", Text: "Which cities does the Weser flow through?", Gold: gold("Bremen", "Bremerhaven"), Category: CatSimple},
+		{ID: "Q45", Text: "Which countries are connected by the Rhine?", Gold: gold("Germany", "Switzerland", "France"), Category: CatSimple},
+		{ID: "Q54", Text: "What are the nicknames of San Francisco?", Gold: []rdf.Term{lit("The Golden City"), lit("Fog City")}, Category: CatSimple},
+		{ID: "Q58", Text: "What is the time zone of Salt Lake City?", Gold: gold("Mountain_Time_Zone"), Category: CatSimple},
+		{ID: "Q74", Text: "When did Michael Jackson die?", Gold: []rdf.Term{date("2009-06-25")}, Category: CatSimple},
+		{ID: "Q76", Text: "List the children of Margaret Thatcher.", Gold: gold("Mark_Thatcher", "Carol_Thatcher"), Category: CatSimple},
+		{ID: "Q77", Text: "Who was called Scarface?", Gold: gold("Al_Capone"), Category: CatSimple},
+		{ID: "Q83", Text: "How high is the Mount Everest?", Gold: []rdf.Term{num("8848")}, Category: CatSimple},
+		{ID: "Q20", Text: "How tall is Michael Jordan?", Gold: []rdf.Term{num("1.98")}, Category: CatSimple},
+		{ID: "Q84", Text: "Who created the comic Captain America?", Gold: gold("Joe_Simon", "Jack_Kirby"), Category: CatSimple},
+		{ID: "Q86", Text: "What is the largest city in Australia?", Gold: gold("Sydney"), Category: CatSimple},
+		{ID: "Q89", Text: "In which city was the former Dutch queen Juliana buried?", Gold: gold("Delft"), Category: CatSimple},
+		{ID: "Q100", Text: "Who produces Orangina?", Gold: gold("Suntory"), Category: CatSimple},
+		{ID: "S1", Text: "Which movies did Antonio Banderas star in?", Gold: gold("Philadelphia_(film)", "Desperado", "The_Mask_of_Zorro"), Category: CatSimple},
+		{ID: "S2", Text: "Who was married to Antonio Banderas?", Gold: gold("Melanie_Griffith"), Category: CatSimple},
+		{ID: "S3", Text: "Who wrote On the Road?", Gold: gold("Jack_Kerouac"), Category: CatSimple},
+		{ID: "S4", Text: "Who is the author of Big Sur?", Gold: gold("Jack_Kerouac"), Category: CatSimple},
+		{ID: "S5", Text: "Which books were written by Jack Kerouac?", Gold: gold("On_the_Road", "The_Dharma_Bums", "Big_Sur_(novel)"), Category: CatSimple},
+		{ID: "S6", Text: "Who directed The Godfather?", Gold: gold("Francis_Ford_Coppola"), Category: CatSimple},
+		{ID: "S7", Text: "Who starred in Pretty Woman?", Gold: gold("Julia_Roberts", "Richard_Gere"), Category: CatSimple},
+		{ID: "S8", Text: "In which films did Julia Roberts play?", Gold: gold("Runaway_Bride", "Pretty_Woman"), Category: CatSimple},
+		{ID: "S9", Text: "Where was Antonio Banderas born?", Gold: gold("Malaga"), Category: CatSimple},
+		{ID: "S10", Text: "Where did Arnold Schoenberg die?", Gold: gold("Los_Angeles"), Category: CatSimple},
+		{ID: "Q17", Text: "Give me all cars that are produced in Germany.", Gold: gold("BMW_3_Series", "Volkswagen_Golf", "Audi_A4"), Category: CatSimple},
+		{ID: "Q27", Text: "Sean Parnell is the governor of which U.S. state?", Gold: gold("Alaska"), Category: CatSimple},
+		{ID: "S12", Text: "Which river is fed by the Aare?", Gold: gold("Rhine"), Category: CatSimple},
+		{ID: "S13", Text: "Who played for the Philadelphia 76ers?", Gold: gold("Aaron_McKie", "Allen_Iverson"), Category: CatSimple},
+		{ID: "S14", Text: "Which films star Antonio Banderas?", Gold: gold("Philadelphia_(film)", "Desperado", "The_Mask_of_Zorro"), Category: CatSimple},
+		{ID: "S15", Text: "Who acted in Desperado?", Gold: gold("Antonio_Banderas", "Salma_Hayek"), Category: CatSimple},
+		{ID: "S16", Text: "Who is the creator of Miffy?", Gold: gold("Dick_Bruna"), Category: CatSimple},
+		{ID: "S17", Text: "Who succeeded John F. Kennedy?", Gold: gold("Lyndon_B_Johnson"), Category: CatSimple},
+		{ID: "S18", Text: "Which companies are located in Munich?", Gold: gold("BMW", "Siemens", "Allianz"), Category: CatSimple},
+		{ID: "S19", Text: "Where is Intel headquartered?", Gold: gold("Santa_Clara"), Category: CatSimple},
+		{ID: "S20", Text: "Which team did Aaron McKie play for?", Gold: gold("Philadelphia_76ers"), Category: CatSimple},
+		{ID: "S21", Text: "Who is the director of Apocalypse Now?", Gold: gold("Francis_Ford_Coppola"), Category: CatSimple},
+		{ID: "S22", Text: "Who is the wife of Antonio Banderas?", Gold: gold("Melanie_Griffith"), Category: CatSimple},
+		{ID: "S23", Text: "Which city is the capital of Germany?", Gold: gold("Berlin"), Category: CatSimple},
+		{ID: "S24", Text: "Berlin is the capital of which country?", Gold: gold("Germany"), Category: CatSimple},
+		{ID: "S25", Text: "What is the elevation of Mount Everest?", Gold: []rdf.Term{num("8848")}, Category: CatSimple},
+		{ID: "S26", Text: "Through which cities does the Weser flow?", Gold: gold("Bremen", "Bremerhaven"), Category: CatSimple},
+		{ID: "S27", Text: "Give me the nicknames of San Francisco.", Gold: []rdf.Term{lit("The Golden City"), lit("Fog City")}, Category: CatSimple},
+		{ID: "S28", Text: "Who is the father of Elizabeth II?", Gold: gold("George_VI"), Category: CatSimple},
+		{ID: "S29", Text: "Which games were developed by Markus Persson?", Gold: gold("Minecraft"), Category: CatSimple},
+		{ID: "S30", Text: "Give me all books published by Viking Press.", Gold: gold("On_the_Road", "The_Dharma_Bums"), Category: CatSimple},
+		{ID: "S31", Text: "What is Angela Merkel's birth name?", Gold: []rdf.Term{lit("Angela Dorothea Kasner")}, Category: CatSimple},
+		{ID: "S32", Text: "Who is Amanda Palmer's husband?", Gold: gold("Neil_Gaiman"), Category: CatSimple},
+
+		// --- Joins (multi-edge query graphs).
+		{ID: "Q19", Text: "Give me all people that were born in Vienna and died in Berlin.", Gold: gold("Emil_Fischer"), Category: CatJoin},
+		{ID: "RE", Text: "Who was married to an actor that played in Philadelphia?", Gold: gold("Melanie_Griffith"), Category: CatJoin},
+		{ID: "Q98", Text: "Which country does the creator of Miffy come from?", Gold: gold("Netherlands"), Category: CatJoin},
+		{ID: "Q81", Text: "Which books by Kerouac were published by Viking Press?", Gold: gold("On_the_Road", "The_Dharma_Bums"), Category: CatJoin},
+		{ID: "J1", Text: "Which actors played in films directed by Jonathan Demme?", Gold: gold("Antonio_Banderas", "Tom_Hanks"), Category: CatJoin},
+		{ID: "J2", Text: "Who was married to an actor that starred in Desperado?", Gold: gold("Melanie_Griffith"), Category: CatJoin},
+		{ID: "J3", Text: "Give me all films starring Marlon Brando.", Gold: gold("The_Godfather", "Apocalypse_Now"), Category: CatJoin},
+		{ID: "J4", Text: "Which films did the director of The Godfather direct?", Gold: gold("Apocalypse_Now"), Category: CatJoin},
+		{ID: "J5", Text: "Which films star Antonio Banderas and Anthony Hopkins?", Gold: gold("The_Mask_of_Zorro"), Category: CatJoin},
+
+		// --- Predicate paths (the §3 motivation).
+		{ID: "P1", Text: "Who is the uncle of John F. Kennedy Jr.?", Gold: gold("Ted_Kennedy", "Robert_F_Kennedy"), Category: CatPath},
+		{ID: "P2", Text: "Who is the uncle of Caroline Kennedy?", Gold: gold("Ted_Kennedy", "Robert_F_Kennedy"), Category: CatPath},
+
+		// --- Type-only enumerations.
+		{ID: "Q63", Text: "Give me all Argentine films.", Gold: gold("The_Secret_in_Their_Eyes", "Nine_Queens"), Category: CatTypeOnly},
+		{ID: "T1", Text: "Give me all basketball teams.", Gold: gold("Philadelphia_76ers"), Category: CatTypeOnly},
+
+		// --- Booleans.
+		{ID: "Q70", Text: "Is Michelle Obama the wife of Barack Obama?", Bool: bt(true), Category: CatBoolean},
+		{ID: "B1", Text: "Was Angela Merkel born in Vienna?", Bool: bt(false), Category: CatBoolean},
+		{ID: "B2", Text: "Did Tom Hanks play in Philadelphia?", Bool: bt(true), Category: CatBoolean},
+		{ID: "B3", Text: "Does the Rhine cross Bremen?", Bool: bt(false), Category: CatBoolean},
+		{ID: "B4", Text: "Is Berlin the capital of Germany?", Bool: bt(true), Category: CatBoolean},
+		{ID: "B5", Text: "Is Ottawa the capital of Australia?", Bool: bt(false), Category: CatBoolean},
+		{ID: "B6", Text: "Was Melanie Griffith married to Antonio Banderas?", Bool: bt(true), Category: CatBoolean},
+
+		// --- Aggregation (expected failures, Table 10 category 3). Where
+		// the KB determines an answer, it is recorded as gold so failing
+		// these costs recall, as in QALD; the approach cannot express the
+		// needed aggregation either way.
+		{ID: "Q13", Text: "Who is the youngest player in the Premier League?", Gold: gold("Theo_Walcott"), Category: CatAggregation},
+		{ID: "A1", Text: "How many films did Antonio Banderas star in?", Gold: []rdf.Term{num("3")}, Category: CatAggregation},
+		{ID: "A2", Text: "How many children did Margaret Thatcher have?", Gold: []rdf.Term{num("2")}, Category: CatAggregation},
+		{ID: "A3", Text: "What is the highest mountain in the world?", Gold: gold("Mount_Everest"), Category: CatAggregation},
+		{ID: "A4", Text: "Which is the oldest company in Munich?", Category: CatAggregation},
+		{ID: "A5", Text: "How many members does the Prodigy have?", Gold: []rdf.Term{num("3")}, Category: CatAggregation},
+		{ID: "A6", Text: "What is the longest river in Germany?", Category: CatAggregation},
+		{ID: "A7", Text: "Who is the tallest basketball player?", Category: CatAggregation},
+
+		// --- Entity-linking-hard (expected failures, Table 10 category 1).
+		{ID: "Q48", Text: "In which UK city are the headquarters of the MI6?", Gold: gold("London"), Category: CatLinkHard},
+		{ID: "L1", Text: "Who is the mayor of Gotham City?", Category: CatLinkHard},
+		{ID: "L2", Text: "Who was married to Slartibartfast?", Category: CatLinkHard},
+		{ID: "L3", Text: "Which films star Chuck Norris?", Category: CatLinkHard},
+		{ID: "L4", Text: "What is the capital of Atlantis?", Category: CatLinkHard},
+
+		// --- Relation-extraction-hard (expected failures, category 2).
+		{ID: "Q64", Text: "Give me all launch pads operated by NASA.", Category: CatRelHard},
+		{ID: "R1", Text: "Who betrayed Julius Caesar?", Category: CatRelHard},
+		{ID: "R2", Text: "Which games were inspired by Minecraft?", Category: CatRelHard},
+		{ID: "R3", Text: "Give me all taikonauts.", Category: CatRelHard},
+		{ID: "R4", Text: "Who was the doctoral advisor of Albert Einstein?", Category: CatRelHard},
+
+		// --- Other failures (category 4).
+		{ID: "Q37", Text: "Give me all sister cities of Brno.", Category: CatOther},
+		{ID: "O1", Text: "What did Bruce Carver die from?", Category: CatOther},
+		{ID: "O2", Text: "Which professional surfers were born in Australia?", Category: CatOther},
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+// Aggregation extension (opt-in). The paper cannot answer counting or
+// superlative questions — 35% of its failures (Table 10) — and names
+// aggregation support as future work. This file implements the natural
+// extension on top of the existing machinery:
+//
+//   - "How many X …?"        → answer the underlying "Which X …?" query
+//     and return the cardinality of its answer set;
+//   - "…the youngest X …?"   → answer the base query without the
+//     superlative and rank the answers by the numeric predicate registered
+//     for the adjective (the ORDER BY ASC/DESC LIMIT 1 rewrite the paper
+//     sketches for SPARQL).
+//
+// Enabled with Options.EnableAggregation; off by default so the baseline
+// experiments reproduce the paper's failure taxonomy.
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"gqa/internal/nlp"
+	"gqa/internal/store"
+)
+
+// Superlative registers the meaning of a superlative adjective: entities
+// are ranked by the numeric object of Pred; Max selects the largest value
+// ("oldest", "highest"), otherwise the smallest ("youngest").
+type Superlative struct {
+	Adjective string // lowercase surface form, e.g. "youngest"
+	Pred      store.ID
+	Max       bool
+}
+
+// RegisterSuperlative adds a superlative interpretation to the system.
+func (s *System) RegisterSuperlative(adj string, pred store.ID, max bool) {
+	if s.superlatives == nil {
+		s.superlatives = make(map[string]Superlative)
+	}
+	adj = strings.ToLower(adj)
+	s.superlatives[adj] = Superlative{Adjective: adj, Pred: pred, Max: max}
+}
+
+// tryAggregate attempts the aggregation rewrites on an aggregation-flagged
+// question. It returns a completed Result, or nil when the question is not
+// rewritable (the caller then reports the paper's aggregation failure).
+func (s *System) tryAggregate(question string, y *nlp.DepTree) (*Result, error) {
+	if !s.Opts.EnableAggregation {
+		return nil, nil
+	}
+	// Counting: "How many X did … ?" → "Which X did … ?", count answers.
+	if reduced, ok := rewriteHowMany(y); ok {
+		inner, err := s.answerNonAggregate(reduced)
+		if err != nil {
+			return nil, err
+		}
+		if inner.Failure != FailureNone {
+			return nil, nil
+		}
+		n := len(inner.Answers)
+		inner.Question = question
+		inner.Count = &n
+		inner.Answers = nil
+		inner.Aggregated = true
+		return inner, nil
+	}
+	// Superlative: strip the registered adjective, rank the base answers.
+	if adj, reduced, ok := s.rewriteSuperlative(y); ok {
+		inner, err := s.answerNonAggregate(reduced)
+		if err != nil {
+			return nil, err
+		}
+		if inner.Failure != FailureNone || len(inner.Answers) == 0 {
+			return nil, nil
+		}
+		ranked := s.rankByPredicate(inner.Answers, adj)
+		if len(ranked) == 0 {
+			return nil, nil
+		}
+		inner.Question = question
+		inner.Answers = ranked[:1]
+		inner.Aggregated = true
+		return inner, nil
+	}
+	return nil, nil
+}
+
+// rewriteHowMany turns "How many films did X star in?" into
+// "Which films did X star in?"; the possessive form "How many X did Y
+// have?" becomes "Give me the X of Y." so the noun relation ("children
+// of") carries the query.
+func rewriteHowMany(y *nlp.DepTree) (string, bool) {
+	if y.Size() < 3 {
+		return "", false
+	}
+	if y.Node(0).Lower != "how" || (y.Node(1).Lower != "many" && y.Node(1).Lower != "much") {
+		return "", false
+	}
+	last := y.Node(y.Size() - 1)
+	if last.Lemma == "have" || last.Lemma == "get" {
+		// Locate the do-support auxiliary separating X from Y.
+		didAt := -1
+		for i := 2; i < y.Size()-1; i++ {
+			if y.Node(i).Lemma == "do" {
+				didAt = i
+				break
+			}
+		}
+		if didAt > 2 && didAt < y.Size()-2 {
+			words := []string{"Give", "me", "the"}
+			for i := 2; i < didAt; i++ {
+				words = append(words, y.Node(i).Text)
+			}
+			words = append(words, "of")
+			for i := didAt + 1; i < y.Size()-1; i++ {
+				words = append(words, y.Node(i).Text)
+			}
+			return strings.Join(words, " ") + ".", true
+		}
+	}
+	words := []string{"Which"}
+	for i := 2; i < y.Size(); i++ {
+		words = append(words, y.Node(i).Text)
+	}
+	return strings.Join(words, " ") + "?", true
+}
+
+// rewriteSuperlative removes the first registered superlative adjective
+// from the question, returning it and the reduced question.
+func (s *System) rewriteSuperlative(y *nlp.DepTree) (Superlative, string, bool) {
+	for i := 0; i < y.Size(); i++ {
+		n := y.Node(i)
+		if n.Tag != "JJS" {
+			continue
+		}
+		sup, ok := s.superlatives[n.Lower]
+		if !ok {
+			continue
+		}
+		var words []string
+		for j := 0; j < y.Size(); j++ {
+			if j == i {
+				continue
+			}
+			words = append(words, y.Node(j).Text)
+		}
+		return sup, strings.Join(words, " ") + "?", true
+	}
+	return Superlative{}, "", false
+}
+
+// rankByPredicate orders entities by the numeric object of sup.Pred
+// (entities without a parseable value are dropped).
+func (s *System) rankByPredicate(entities []store.ID, sup Superlative) []store.ID {
+	type scored struct {
+		id store.ID
+		v  float64
+	}
+	var xs []scored
+	for _, e := range entities {
+		for _, edge := range s.Graph.Out(e) {
+			if edge.Pred != sup.Pred {
+				continue
+			}
+			t := s.Graph.Term(edge.To)
+			if !t.IsLiteral() {
+				continue
+			}
+			if v, err := strconv.ParseFloat(t.Value(), 64); err == nil {
+				xs = append(xs, scored{id: e, v: v})
+				break
+			}
+		}
+	}
+	sort.SliceStable(xs, func(i, j int) bool {
+		if sup.Max {
+			return xs[i].v > xs[j].v
+		}
+		return xs[i].v < xs[j].v
+	})
+	out := make([]store.ID, len(xs))
+	for i, x := range xs {
+		out[i] = x.id
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"gqa/internal/dict"
+	"gqa/internal/rdf"
+	"gqa/internal/store"
+)
+
+// figure1Graph builds the RDF graph of the paper's Figure 1(a): the
+// Banderas/Griffith/Philadelphia neighborhood with all three ambiguous
+// "Philadelphia" vertices and the "play in" predicate ambiguity.
+func figure1Graph(t testing.TB) (*store.Graph, map[string]store.ID) {
+	t.Helper()
+	g := store.New()
+	type spo struct{ s, p, o rdf.Term }
+	r, o, typ, lbl := rdf.Resource, rdf.Ontology, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(rdf.RDFSLabel)
+	triples := []spo{
+		{r("Antonio_Banderas"), typ, o("Actor")},
+		{r("Melanie_Griffith"), o("spouse"), r("Antonio_Banderas")},
+		{r("Philadelphia_(film)"), o("starring"), r("Antonio_Banderas")},
+		{r("Philadelphia_(film)"), typ, o("Film")},
+		{r("Philadelphia_(film)"), o("director"), r("Jonathan_Demme")},
+		{r("Aaron_McKie"), o("playForTeam"), r("Philadelphia_76ers")},
+		{r("Aaron_McKie"), typ, o("BasketballPlayer")},
+		{r("Philadelphia_76ers"), typ, o("BasketballTeam")},
+		{r("Philadelphia"), o("country"), r("United_States")},
+		{r("Philadelphia"), typ, o("City")},
+		{r("Melanie_Griffith"), typ, o("Actor")},
+		{r("Jonathan_Demme"), typ, o("Person")},
+		{r("An_Actor_Prepares"), typ, o("Book")},
+		{o("Actor"), lbl, rdf.NewLiteral("actor")},
+		{o("Film"), lbl, rdf.NewLiteral("film")},
+		{o("Film"), lbl, rdf.NewLiteral("movie")},
+		{o("City"), lbl, rdf.NewLiteral("city")},
+	}
+	for _, tr := range triples {
+		if err := g.Add(rdf.T(tr.s, tr.p, tr.o)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := make(map[string]store.ID)
+	for _, name := range []string{
+		"Antonio_Banderas", "Melanie_Griffith", "Philadelphia_(film)",
+		"Philadelphia_76ers", "Philadelphia", "Aaron_McKie", "Jonathan_Demme",
+		"United_States", "An_Actor_Prepares",
+	} {
+		id, ok := g.Lookup(rdf.Resource(name))
+		if !ok {
+			t.Fatalf("missing entity %s", name)
+		}
+		ids[name] = id
+	}
+	for _, name := range []string{"Actor", "Film", "City", "BasketballTeam", "BasketballPlayer", "Person",
+		"spouse", "starring", "director", "playForTeam", "country"} {
+		id, ok := g.Lookup(rdf.Ontology(name))
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		ids[name] = id
+	}
+	return g, ids
+}
+
+// figure1Dict hand-builds the paraphrase dictionary of Figure 1(c)/(3):
+// "be married to" → spouse; "play in" → starring/playForTeam/director.
+func figure1Dict(ids map[string]store.ID) *dict.Dictionary {
+	d := dict.New()
+	p1 := func(pred store.ID) dict.Path { return dict.Path{{Pred: pred, Forward: true}} }
+	d.Add("be married to", []dict.Entry{
+		{Path: p1(ids["spouse"]), Score: 1.0},
+	})
+	d.Add("play in", []dict.Entry{
+		{Path: p1(ids["starring"]), Score: 0.9},
+		{Path: p1(ids["playForTeam"]), Score: 0.8},
+		{Path: p1(ids["director"]), Score: 0.5},
+	})
+	d.Add("star in", []dict.Entry{
+		{Path: p1(ids["starring"]), Score: 1.0},
+	})
+	d.Add("directed by", []dict.Entry{
+		{Path: p1(ids["director"]), Score: 1.0},
+	})
+	return d
+}
+
+func figure1System(t testing.TB, opts Options) (*System, map[string]store.ID) {
+	t.Helper()
+	g, ids := figure1Graph(t)
+	d := figure1Dict(ids)
+	if opts.TopK == 0 {
+		opts.TopK = 10
+	}
+	return NewSystem(g, d, opts), ids
+}
+
+func rdfRes(name string) rdf.Term { return rdf.Resource(name) }

@@ -1,0 +1,580 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gqa/internal/dict"
+	"gqa/internal/store"
+)
+
+// Match is a subgraph match of Q^S over the RDF graph (Definition 3): an
+// injective assignment of query vertices to graph entities, with the
+// predicate path chosen per edge and the score of Definition 6.
+type Match struct {
+	Assignment []store.ID  // per query vertex: the matched entity u_i
+	Via        []store.ID  // per vertex: the class c_i justifying it, or store.None
+	EdgePaths  []dict.Path // per query edge: the chosen predicate path
+	Score      float64     // Definition 6 (log-space, ≤ 0)
+}
+
+func (m *Match) key() string {
+	var b strings.Builder
+	for _, u := range m.Assignment {
+		b.WriteString(strconv.FormatUint(uint64(u), 36))
+		b.WriteByte('.')
+	}
+	return b.String()
+}
+
+// MatchOptions tunes the top-k search.
+type MatchOptions struct {
+	// TopK is the number of distinct match scores kept (the paper returns
+	// every match tied on a kept score). Zero means 10.
+	TopK int
+	// DisablePruning turns off the neighborhood-based candidate filter of
+	// §4.2.2 (ablation).
+	DisablePruning bool
+	// Exhaustive disables the TA-style early-termination rule and scans
+	// every candidate (ablation for Algorithm 3's stopping strategy).
+	Exhaustive bool
+	// MaxMatches is a safety cap on enumerated matches (default 10000).
+	MaxMatches int
+}
+
+func (o *MatchOptions) defaults() {
+	if o.TopK == 0 {
+		o.TopK = 10
+	}
+	if o.MaxMatches == 0 {
+		o.MaxMatches = 10000
+	}
+}
+
+// matcher carries the state of one top-k search.
+type matcher struct {
+	g    *store.Graph
+	q    *QueryGraph
+	opts MatchOptions
+
+	cands   [][]VertexCandidate // pruned candidate lists per vertex
+	adj     [][]int             // vertex → incident edge indices
+	found   map[string]*Match
+	results []*Match // maintained sorted by descending score
+	probes  int      // anchored searches performed (stats)
+}
+
+// MatchStats reports search effort, used by the ablation benchmarks.
+type MatchStats struct {
+	AnchorsProbed  int
+	CandidatesKept int
+	CandidatesCut  int // removed by neighborhood pruning
+	Rounds         int
+	EarlyStopped   bool
+}
+
+// FindTopKMatches runs Algorithm 3: sort candidate lists, advance cursors
+// in round-robin, run an exploration-based (VF2-style) subgraph search from
+// every cursor candidate, and stop once the current k-th score beats the
+// upper bound of Equation 3.
+func FindTopKMatches(g *store.Graph, q *QueryGraph, opts MatchOptions) ([]Match, MatchStats) {
+	opts.defaults()
+	m := &matcher{g: g, q: q, opts: opts, found: make(map[string]*Match)}
+	var stats MatchStats
+
+	m.adj = make([][]int, len(q.Vertices))
+	for ei, e := range q.Edges {
+		m.adj[e.From] = append(m.adj[e.From], ei)
+		if e.To != e.From {
+			m.adj[e.To] = append(m.adj[e.To], ei)
+		}
+	}
+
+	// Neighborhood-based pruning (§4.2.2): drop entity candidates lacking
+	// an adjacent predicate compatible with every incident edge.
+	m.cands = make([][]VertexCandidate, len(q.Vertices))
+	for vi := range q.Vertices {
+		for _, c := range q.Vertices[vi].Candidates {
+			if !opts.DisablePruning && !c.IsClass && !m.passesNeighborhood(vi, c.ID) {
+				stats.CandidatesCut++
+				continue
+			}
+			m.cands[vi] = append(m.cands[vi], c)
+			stats.CandidatesKept++
+		}
+	}
+
+	// A constrained vertex whose candidate list is empty (after pruning)
+	// can never be matched; Definition 3 admits no subgraph.
+	for vi := range q.Vertices {
+		if !q.Vertices[vi].Unconstrained && len(m.cands[vi]) == 0 {
+			return nil, stats
+		}
+	}
+
+	anchors := m.anchorVertices()
+	if len(anchors) == 0 {
+		// Every vertex is unconstrained (an all-wh question): enumerate
+		// graph vertices as the anchor for vertex 0.
+		m.enumerateUnanchored()
+		stats.AnchorsProbed = m.probes
+		return m.harvest(), stats
+	}
+
+	maxLen := 0
+	for _, vi := range anchors {
+		if l := len(m.cands[vi]); l > maxLen {
+			maxLen = l
+		}
+	}
+	for round := 0; round < maxLen; round++ {
+		stats.Rounds++
+		for _, vi := range anchors {
+			if round >= len(m.cands[vi]) {
+				continue
+			}
+			m.searchFromAnchor(vi, m.cands[vi][round])
+		}
+		if !opts.Exhaustive && m.thresholdReached(anchors, round) {
+			stats.EarlyStopped = true
+			break
+		}
+	}
+	stats.AnchorsProbed = m.probes
+	return m.harvest(), stats
+}
+
+// anchorVertices returns the constrained vertices usable as TA cursors.
+// When several are available, vertices whose candidates expand to very
+// large seed sets (a class with tens of thousands of instances) are
+// dropped as anchors: every match still contains a candidate of each
+// remaining anchor, so enumeration stays complete, and thresholdReached
+// keeps the skipped vertices' best scores in the upper bound, so the
+// stopping rule stays sound.
+func (m *matcher) anchorVertices() []int {
+	type av struct {
+		vi   int
+		cost int
+	}
+	var all []av
+	for vi := range m.q.Vertices {
+		if m.q.Vertices[vi].Unconstrained || len(m.cands[vi]) == 0 {
+			continue
+		}
+		cost := 0
+		for _, c := range m.cands[vi] {
+			if c.IsClass {
+				cost += len(m.g.InstancesOf(c.ID))
+			} else {
+				cost++
+			}
+		}
+		all = append(all, av{vi, cost})
+	}
+	if len(all) <= 1 {
+		out := make([]int, len(all))
+		for i, a := range all {
+			out[i] = a.vi
+		}
+		return out
+	}
+	minCost := all[0].cost
+	for _, a := range all {
+		if a.cost < minCost {
+			minCost = a.cost
+		}
+	}
+	var out []int
+	for _, a := range all {
+		if a.cost <= 64*(minCost+1) {
+			out = append(out, a.vi)
+		}
+	}
+	return out
+}
+
+// passesNeighborhood implements the u₅ test of §4.2.2: an entity candidate
+// survives only if, for every incident query edge, some candidate path's
+// first or last predicate is adjacent to it.
+func (m *matcher) passesNeighborhood(vi int, u store.ID) bool {
+	for _, ei := range m.adj[vi] {
+		e := &m.q.Edges[ei]
+		ok := false
+		for _, c := range e.Candidates {
+			if len(c.Path) == 0 {
+				continue
+			}
+			first, last := c.Path[0].Pred, c.Path[len(c.Path)-1].Pred
+			if m.g.HasAdjacentPred(u, first) || m.g.HasAdjacentPred(u, last) {
+				ok = true
+				break
+			}
+		}
+		if !ok && len(e.Candidates) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// thresholdReached evaluates the TA stopping rule: the upper bound on any
+// undiscovered match (every anchor candidate at position > round, every
+// edge at its best) must not beat the current k-th best score.
+func (m *matcher) thresholdReached(anchors []int, round int) bool {
+	theta, full := m.kthScore()
+	if !full {
+		return false
+	}
+	up := 0.0
+	anchored := make(map[int]bool, len(anchors))
+	for _, vi := range anchors {
+		anchored[vi] = true
+		if round+1 >= len(m.cands[vi]) {
+			// This list is exhausted: every match containing one of its
+			// candidates has been enumerated, so no undiscovered match
+			// exists at all.
+			return true
+		}
+		up += math.Log(m.cands[vi][round+1].Score)
+	}
+	// Constrained vertices that were not anchored (anchor-cost skipping)
+	// contribute their best score — sound, since nothing bounds the
+	// position of their candidate in an undiscovered match.
+	for vi := range m.q.Vertices {
+		if m.q.Vertices[vi].Unconstrained || anchored[vi] || len(m.cands[vi]) == 0 {
+			continue
+		}
+		up += math.Log(m.cands[vi][0].Score)
+	}
+	for _, e := range m.q.Edges {
+		if len(e.Candidates) > 0 {
+			up += math.Log(e.Candidates[0].Score)
+		}
+	}
+	return theta >= up
+}
+
+// kthScore returns the current k-th distinct score and whether k distinct
+// scores exist yet.
+func (m *matcher) kthScore() (float64, bool) {
+	distinct := 0
+	last := math.Inf(1)
+	for _, r := range m.results {
+		if r.Score != last {
+			distinct++
+			last = r.Score
+		}
+		if distinct == m.opts.TopK {
+			return last, true
+		}
+	}
+	return math.Inf(-1), false
+}
+
+// harvest returns the matches carrying the top-k distinct scores.
+func (m *matcher) harvest() []Match {
+	var out []Match
+	distinct := 0
+	last := math.Inf(1)
+	for _, r := range m.results {
+		if r.Score != last {
+			distinct++
+			last = r.Score
+			if distinct > m.opts.TopK {
+				break
+			}
+		}
+		out = append(out, *r)
+	}
+	return out
+}
+
+func (m *matcher) record(match *Match) {
+	if len(m.found) >= m.opts.MaxMatches {
+		return
+	}
+	k := match.key()
+	if prev, ok := m.found[k]; ok {
+		if match.Score > prev.Score {
+			*prev = *match
+			sort.SliceStable(m.results, func(i, j int) bool { return m.results[i].Score > m.results[j].Score })
+		}
+		return
+	}
+	cp := *match
+	cp.Assignment = append([]store.ID(nil), match.Assignment...)
+	cp.Via = append([]store.ID(nil), match.Via...)
+	cp.EdgePaths = append([]dict.Path(nil), match.EdgePaths...)
+	m.found[k] = &cp
+	pos := sort.Search(len(m.results), func(i int) bool { return m.results[i].Score < cp.Score })
+	m.results = append(m.results, nil)
+	copy(m.results[pos+1:], m.results[pos:])
+	m.results[pos] = &cp
+}
+
+// searchFromAnchor enumerates every match in which query vertex vi is
+// matched through candidate c (directly, or via the instances of a class
+// candidate).
+func (m *matcher) searchFromAnchor(vi int, c VertexCandidate) {
+	m.probes++
+	us := []store.ID{c.ID}
+	via := store.None
+	if c.IsClass {
+		us = m.g.InstancesOf(c.ID)
+		via = c.ID
+	}
+	n := len(m.q.Vertices)
+	for _, u := range us {
+		st := &searchState{
+			assign: make([]store.ID, n),
+			via:    make([]store.ID, n),
+			score:  make([]float64, n),
+			paths:  make([]dict.Path, len(m.q.Edges)),
+			pscore: make([]float64, len(m.q.Edges)),
+			done:   make([]bool, n),
+		}
+		for i := range st.assign {
+			st.assign[i] = store.None
+			st.via[i] = store.None
+		}
+		st.assign[vi] = u
+		st.via[vi] = via
+		st.score[vi] = c.Score
+		st.done[vi] = true
+		m.extend(st)
+	}
+}
+
+type searchState struct {
+	assign []store.ID
+	via    []store.ID
+	score  []float64 // δ per vertex (1.0 for unconstrained)
+	paths  []dict.Path
+	pscore []float64
+	done   []bool
+}
+
+// extend grows the partial assignment by one vertex (VF2-style: always a
+// vertex adjacent to the matched region when one exists) until complete.
+func (m *matcher) extend(st *searchState) {
+	if len(m.found) >= m.opts.MaxMatches {
+		return
+	}
+	next, bridge := m.chooseNext(st)
+	if next < 0 {
+		m.finish(st)
+		return
+	}
+	if bridge < 0 {
+		// Disconnected component: start it from its own candidate list.
+		if m.q.Vertices[next].Unconstrained {
+			// An unconstrained vertex in its own component would match
+			// everything; such degenerate queries yield no useful match.
+			return
+		}
+		for _, c := range m.cands[next] {
+			us := []store.ID{c.ID}
+			via := store.None
+			if c.IsClass {
+				us = m.g.InstancesOf(c.ID)
+				via = c.ID
+			}
+			for _, u := range us {
+				if m.used(st, u) {
+					continue
+				}
+				st.assign[next], st.via[next], st.score[next], st.done[next] = u, via, c.Score, true
+				m.extend(st)
+				st.assign[next], st.via[next], st.done[next] = store.None, store.None, false
+			}
+		}
+		return
+	}
+
+	e := &m.q.Edges[bridge]
+	from := st.assign[e.From]
+	reversedEdge := false
+	if !st.done[e.From] {
+		from = st.assign[e.To]
+		reversedEdge = true
+	}
+	for _, pc := range e.Candidates {
+		targets := m.reachable(from, pc.Path, reversedEdge)
+		for _, w := range targets {
+			if m.used(st, w) {
+				continue
+			}
+			vc, ok := m.vertexAccepts(next, w)
+			if !ok {
+				continue
+			}
+			st.assign[next], st.via[next], st.score[next], st.done[next] = w, vc.via, vc.score, true
+			st.paths[bridge], st.pscore[bridge] = pc.Path, pc.Score
+			m.extend(st)
+			st.assign[next], st.via[next], st.done[next] = store.None, store.None, false
+			st.paths[bridge], st.pscore[bridge] = nil, 0
+		}
+	}
+}
+
+// chooseNext picks the next unmatched vertex, preferring one adjacent to
+// the matched region, and returns the connecting edge index (or -1).
+func (m *matcher) chooseNext(st *searchState) (vertex, bridge int) {
+	for ei := range m.q.Edges {
+		e := &m.q.Edges[ei]
+		switch {
+		case st.done[e.From] && !st.done[e.To]:
+			return e.To, ei
+		case st.done[e.To] && !st.done[e.From]:
+			return e.From, ei
+		}
+	}
+	for vi := range m.q.Vertices {
+		if !st.done[vi] {
+			return vi, -1
+		}
+	}
+	return -1, -1
+}
+
+// reachable returns the vertices connected to u by path p in either
+// orientation (Definition 3 condition 3). reversed means u sits at the
+// edge's To side, so the recorded path is read backwards first.
+func (m *matcher) reachable(u store.ID, p dict.Path, reversed bool) []store.ID {
+	a := p
+	b := p.Reverse()
+	if reversed {
+		a, b = b, a
+	}
+	out := dict.FollowPath(m.g, u, a)
+	seen := make(map[store.ID]struct{}, len(out))
+	for _, w := range out {
+		seen[w] = struct{}{}
+	}
+	for _, w := range dict.FollowPath(m.g, u, b) {
+		if _, dup := seen[w]; !dup {
+			seen[w] = struct{}{}
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+type acceptance struct {
+	via   store.ID
+	score float64
+}
+
+// vertexAccepts checks Definition 3 conditions 1–2 for matching graph
+// vertex w to query vertex vi, returning the best-scoring justification.
+func (m *matcher) vertexAccepts(vi int, w store.ID) (acceptance, bool) {
+	v := &m.q.Vertices[vi]
+	if v.Unconstrained {
+		// Wh-arguments match every entity and class (§2.2); δ = 1.
+		return acceptance{via: store.None, score: 1.0}, true
+	}
+	best := acceptance{via: store.None, score: -1}
+	for _, c := range m.cands[vi] {
+		switch {
+		case !c.IsClass && c.ID == w:
+			if c.Score > best.score {
+				best = acceptance{via: store.None, score: c.Score}
+			}
+		case c.IsClass && m.g.HasType(w, c.ID):
+			if c.Score > best.score {
+				best = acceptance{via: c.ID, score: c.Score}
+			}
+		}
+	}
+	if best.score < 0 {
+		return acceptance{}, false
+	}
+	return best, true
+}
+
+func (m *matcher) used(st *searchState, u store.ID) bool {
+	for vi, d := range st.done {
+		if d && st.assign[vi] == u {
+			return true
+		}
+	}
+	return false
+}
+
+// finish validates remaining edge constraints (edges whose endpoints were
+// both matched before the edge could serve as a bridge) and records the
+// match with its Definition 6 score. Paths it chooses itself are reset
+// before returning so backtracking state stays consistent.
+func (m *matcher) finish(st *searchState) {
+	var filled []int
+	defer func() {
+		for _, ei := range filled {
+			st.paths[ei], st.pscore[ei] = nil, 0
+		}
+	}()
+	score := 0.0
+	for vi := range m.q.Vertices {
+		if st.score[vi] > 0 {
+			score += math.Log(st.score[vi])
+		}
+	}
+	for ei := range m.q.Edges {
+		e := &m.q.Edges[ei]
+		if st.paths[ei] == nil {
+			// Choose the best candidate path connecting the endpoints.
+			found := false
+			for _, pc := range e.Candidates {
+				if dict.PathConnects(m.g, st.assign[e.From], st.assign[e.To], pc.Path) {
+					st.paths[ei], st.pscore[ei] = pc.Path, pc.Score
+					filled = append(filled, ei)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return
+			}
+		}
+		score += math.Log(st.pscore[ei])
+	}
+	m.record(&Match{
+		Assignment: st.assign,
+		Via:        st.via,
+		EdgePaths:  st.paths,
+		Score:      score,
+	})
+}
+
+// enumerateUnanchored handles the degenerate all-wh query ("Who married
+// whom?") by trying every graph vertex as the binding of vertex 0. Such
+// queries carry no candidate-list signal, so exhaustive anchoring is the
+// only sound strategy; MaxMatches bounds the work.
+func (m *matcher) enumerateUnanchored() {
+	if len(m.q.Vertices) == 0 {
+		return
+	}
+	m.probes++
+	n := len(m.q.Vertices)
+	for v := 0; v < m.g.NumTerms() && len(m.found) < m.opts.MaxMatches; v++ {
+		u := store.ID(v)
+		if !m.g.Term(u).IsIRI() || m.g.Degree(u) == 0 {
+			continue
+		}
+		st := &searchState{
+			assign: make([]store.ID, n),
+			via:    make([]store.ID, n),
+			score:  make([]float64, n),
+			paths:  make([]dict.Path, len(m.q.Edges)),
+			pscore: make([]float64, len(m.q.Edges)),
+			done:   make([]bool, n),
+		}
+		for i := range st.assign {
+			st.assign[i] = store.None
+			st.via[i] = store.None
+		}
+		st.assign[0], st.score[0], st.done[0] = u, 1.0, true
+		m.extend(st)
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gqa/internal/dict"
+	"gqa/internal/rdf"
+	"gqa/internal/store"
+)
+
+// buildQuery constructs a Q^S by hand: who —[play in]→ Philadelphia-ish.
+func phillyQuery(ids map[string]store.ID) *QueryGraph {
+	p1 := func(p store.ID) dict.Path { return dict.Path{{Pred: p, Forward: true}} }
+	phrase := dict.New().Add("play in", []dict.Entry{
+		{Path: p1(ids["starring"]), Score: 0.9},
+		{Path: p1(ids["playForTeam"]), Score: 0.8},
+		{Path: p1(ids["director"]), Score: 0.5},
+	})
+	q := &QueryGraph{
+		Vertices: []Vertex{
+			{Arg: Argument{Text: "who", Wh: true}, Unconstrained: true, Select: true},
+			{Arg: Argument{Text: "Philadelphia"}, Candidates: []VertexCandidate{
+				{ID: ids["Philadelphia"], Score: 0.9},
+				{ID: ids["Philadelphia_(film)"], Score: 0.6},
+				{ID: ids["Philadelphia_76ers"], Score: 0.5},
+			}},
+		},
+		Edges: []Edge{{
+			From: 0, To: 1, Phrase: phrase,
+			Candidates: []EdgeCandidate{
+				{Path: p1(ids["starring"]), Score: 0.9},
+				{Path: p1(ids["playForTeam"]), Score: 0.8},
+				{Path: p1(ids["director"]), Score: 0.5},
+			},
+		}},
+	}
+	return q
+}
+
+func TestMatcherDataDrivenDisambiguation(t *testing.T) {
+	g, ids := figure1Graph(t)
+	q := phillyQuery(ids)
+	matches, _ := FindTopKMatches(g, q, MatchOptions{TopK: 10})
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	// Philadelphia (city) has no starring/playForTeam/director edges → it
+	// must never appear. The film (starring, director) and the 76ers
+	// (playForTeam) both support matches.
+	sawFilm, saw76ers := false, false
+	for _, m := range matches {
+		switch m.Assignment[1] {
+		case ids["Philadelphia"]:
+			t.Fatal("city matched despite having no compatible edges")
+		case ids["Philadelphia_(film)"]:
+			sawFilm = true
+		case ids["Philadelphia_76ers"]:
+			saw76ers = true
+		}
+	}
+	if !sawFilm || !saw76ers {
+		t.Fatalf("film=%v 76ers=%v", sawFilm, saw76ers)
+	}
+	// Scores are sorted descending and ≤ 0 (log space).
+	for i, m := range matches {
+		if m.Score > 0 {
+			t.Fatalf("score %f > 0", m.Score)
+		}
+		if i > 0 && m.Score > matches[i-1].Score {
+			t.Fatal("matches not sorted")
+		}
+	}
+	// Top match must use the film via starring (0.6·0.9 beats 0.5·0.8).
+	if matches[0].Assignment[1] != ids["Philadelphia_(film)"] {
+		t.Fatalf("top match = %v", g.Term(matches[0].Assignment[1]))
+	}
+}
+
+func TestMatcherExhaustiveAgreesWithTA(t *testing.T) {
+	g, ids := figure1Graph(t)
+	q := phillyQuery(ids)
+	ta, _ := FindTopKMatches(g, q, MatchOptions{TopK: 3})
+	ex, _ := FindTopKMatches(g, q, MatchOptions{TopK: 3, Exhaustive: true})
+	if len(ta) != len(ex) {
+		t.Fatalf("TA %d matches, exhaustive %d", len(ta), len(ex))
+	}
+	for i := range ta {
+		if ta[i].Score != ex[i].Score {
+			t.Fatalf("score %d differs: %f vs %f", i, ta[i].Score, ex[i].Score)
+		}
+		if ta[i].key() != ex[i].key() {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+}
+
+func TestMatcherPruningPreservesResults(t *testing.T) {
+	g, ids := figure1Graph(t)
+	q := phillyQuery(ids)
+	with, sWith := FindTopKMatches(g, q, MatchOptions{TopK: 10})
+	without, sWithout := FindTopKMatches(g, q, MatchOptions{TopK: 10, DisablePruning: true})
+	if len(with) != len(without) {
+		t.Fatalf("pruning changed result count: %d vs %d", len(with), len(without))
+	}
+	for i := range with {
+		if with[i].key() != without[i].key() {
+			t.Fatal("pruning changed results")
+		}
+	}
+	// The city candidate is cut by pruning (no compatible adjacent edge).
+	if sWith.CandidatesCut == 0 {
+		t.Fatalf("pruning cut nothing: %+v", sWith)
+	}
+	if sWithout.CandidatesCut != 0 {
+		t.Fatalf("disabled pruning still cut: %+v", sWithout)
+	}
+}
+
+func TestMatcherClassExpansion(t *testing.T) {
+	g, ids := figure1Graph(t)
+	p1 := func(p store.ID) dict.Path { return dict.Path{{Pred: p, Forward: true}} }
+	phrase := dict.New().Add("be married to", []dict.Entry{{Path: p1(ids["spouse"]), Score: 1}})
+	q := &QueryGraph{
+		Vertices: []Vertex{
+			{Arg: Argument{Text: "who", Wh: true}, Unconstrained: true, Select: true},
+			{Arg: Argument{Text: "actor"}, Candidates: []VertexCandidate{
+				{ID: ids["Actor"], IsClass: true, Score: 0.9},
+			}},
+		},
+		Edges: []Edge{{From: 0, To: 1, Phrase: phrase,
+			Candidates: []EdgeCandidate{{Path: p1(ids["spouse"]), Score: 1}}}},
+	}
+	matches, _ := FindTopKMatches(g, q, MatchOptions{TopK: 10})
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	for _, m := range matches {
+		// Vertex 1 must be an instance of Actor, recorded via the class.
+		if m.Via[1] != ids["Actor"] {
+			t.Fatalf("via = %v", m.Via)
+		}
+		if !g.HasType(m.Assignment[1], ids["Actor"]) {
+			t.Fatal("matched entity is not an Actor")
+		}
+	}
+}
+
+func TestMatcherInjective(t *testing.T) {
+	g, ids := figure1Graph(t)
+	q := phillyQuery(ids)
+	matches, _ := FindTopKMatches(g, q, MatchOptions{TopK: 10})
+	for _, m := range matches {
+		if m.Assignment[0] == m.Assignment[1] {
+			t.Fatal("assignment not injective")
+		}
+	}
+}
+
+func TestMatcherPathEdge(t *testing.T) {
+	// An edge whose only candidate is the length-3 "uncle" path.
+	g := store.New()
+	r := func(n string) store.ID { return g.Intern(rdf.Resource(n)) }
+	hasChild := g.Intern(rdf.Ontology("hasChild"))
+	gp, uncle, parent, nephew := r("Gp"), r("Uncle"), r("Parent"), r("Nephew")
+	g.AddSPO(gp, hasChild, uncle)
+	g.AddSPO(gp, hasChild, parent)
+	g.AddSPO(parent, hasChild, nephew)
+	unclePath := dict.Path{
+		{Pred: hasChild, Forward: false},
+		{Pred: hasChild, Forward: true},
+		{Pred: hasChild, Forward: true},
+	}
+	phrase := dict.New().Add("uncle of", []dict.Entry{{Path: unclePath, Score: 1}})
+	q := &QueryGraph{
+		Vertices: []Vertex{
+			{Arg: Argument{Text: "who", Wh: true}, Unconstrained: true, Select: true},
+			{Arg: Argument{Text: "Nephew"}, Candidates: []VertexCandidate{{ID: nephew, Score: 1}}},
+		},
+		Edges: []Edge{{From: 0, To: 1, Phrase: phrase,
+			Candidates: []EdgeCandidate{{Path: unclePath, Score: 1}}}},
+	}
+	matches, _ := FindTopKMatches(g, q, MatchOptions{TopK: 5})
+	if len(matches) != 1 {
+		t.Fatalf("got %d matches", len(matches))
+	}
+	if matches[0].Assignment[0] != uncle {
+		t.Fatalf("answer = %v, want Uncle", g.Term(matches[0].Assignment[0]))
+	}
+}
+
+func TestTopKDistinctScores(t *testing.T) {
+	// Many tied matches: top-k counts distinct scores, so ties all return.
+	g := store.New()
+	r := func(n string) store.ID { return g.Intern(rdf.Resource(n)) }
+	pred := g.Intern(rdf.Ontology("likes"))
+	center := r("center")
+	for i := 0; i < 7; i++ {
+		g.AddSPO(r("fan"+string(rune('A'+i))), pred, center)
+	}
+	p := dict.Path{{Pred: pred, Forward: true}}
+	phrase := dict.New().Add("like", []dict.Entry{{Path: p, Score: 1}})
+	q := &QueryGraph{
+		Vertices: []Vertex{
+			{Arg: Argument{Text: "who", Wh: true}, Unconstrained: true, Select: true},
+			{Arg: Argument{Text: "center"}, Candidates: []VertexCandidate{{ID: center, Score: 1}}},
+		},
+		Edges: []Edge{{From: 0, To: 1, Phrase: phrase,
+			Candidates: []EdgeCandidate{{Path: p, Score: 1}}}},
+	}
+	matches, _ := FindTopKMatches(g, q, MatchOptions{TopK: 1})
+	if len(matches) != 7 {
+		t.Fatalf("got %d matches, want all 7 tied at one distinct score", len(matches))
+	}
+	for _, m := range matches {
+		if math.Abs(m.Score-matches[0].Score) > 1e-12 {
+			t.Fatal("scores not tied")
+		}
+	}
+}
+
+func TestEmptyQueryGraphNoMatches(t *testing.T) {
+	g, _ := figure1Graph(t)
+	q := &QueryGraph{}
+	matches, _ := FindTopKMatches(g, q, MatchOptions{})
+	if len(matches) != 0 {
+		t.Fatalf("got %d matches from empty query", len(matches))
+	}
+}
+
+func TestTAEarlyStops(t *testing.T) {
+	// A long candidate list whose tail cannot beat the best: TA must stop
+	// before probing everything.
+	g := store.New()
+	r := func(n string) store.ID { return g.Intern(rdf.Resource(n)) }
+	pred := g.Intern(rdf.Ontology("p"))
+	var cands []VertexCandidate
+	hub := r("hub")
+	for i := 0; i < 50; i++ {
+		v := r("v" + string(rune('0'+i/10)) + string(rune('0'+i%10)))
+		g.AddSPO(hub, pred, v)
+		score := 1.0 / float64(i+1)
+		cands = append(cands, VertexCandidate{ID: v, Score: score})
+	}
+	p := dict.Path{{Pred: pred, Forward: true}}
+	phrase := dict.New().Add("p", []dict.Entry{{Path: p, Score: 1}})
+	q := &QueryGraph{
+		Vertices: []Vertex{
+			{Arg: Argument{Text: "who", Wh: true}, Unconstrained: true, Select: true},
+			{Arg: Argument{Text: "x"}, Candidates: cands},
+		},
+		Edges: []Edge{{From: 0, To: 1, Phrase: phrase,
+			Candidates: []EdgeCandidate{{Path: p, Score: 1}}}},
+	}
+	_, stats := FindTopKMatches(g, q, MatchOptions{TopK: 1})
+	if !stats.EarlyStopped {
+		t.Fatalf("TA did not stop early: %+v", stats)
+	}
+	if stats.Rounds >= 50 {
+		t.Fatalf("TA used %d rounds", stats.Rounds)
+	}
+	_, ex := FindTopKMatches(g, q, MatchOptions{TopK: 1, Exhaustive: true})
+	if ex.EarlyStopped {
+		t.Fatal("exhaustive mode stopped early")
+	}
+	if ex.AnchorsProbed <= stats.AnchorsProbed {
+		t.Fatalf("exhaustive should probe more: %d vs %d", ex.AnchorsProbed, stats.AnchorsProbed)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gqa/internal/linker"
+)
+
+func buildQS(t *testing.T, q string) (*System, *QueryGraph) {
+	t.Helper()
+	s, ids := figure1System(t, Options{})
+	_ = ids
+	y := mustParse(t, q)
+	rels := ExtractRelations(y, s.Dict, ExtractOptions{})
+	qg := BuildQueryGraph(y, rels, linker.New(s.Graph, linker.Options{}), BuildOptions{})
+	return s, qg
+}
+
+func TestQueryGraphCorefSharesVertex(t *testing.T) {
+	_, qg := buildQS(t, "Who was married to an actor that played in Philadelphia?")
+	if len(qg.Vertices) != 3 {
+		t.Fatalf("vertices = %d (%s)", len(qg.Vertices), qg)
+	}
+	// The shared vertex carries the content text "actor", not "that".
+	found := false
+	for _, v := range qg.Vertices {
+		if v.Arg.Text == "actor" {
+			found = true
+		}
+		if v.Arg.Text == "that" {
+			t.Fatalf("pronoun survived coref: %s", qg)
+		}
+	}
+	if !found {
+		t.Fatalf("no actor vertex: %s", qg)
+	}
+}
+
+func TestQueryGraphSelectMarking(t *testing.T) {
+	cases := []struct {
+		q          string
+		wantSelect bool
+	}{
+		{"Who was married to Antonio Banderas?", true},
+		{"Which movies did Antonio Banderas star in?", true},
+		{"Give me all movies directed by Jonathan Demme.", true},
+		{"Was Melanie Griffith married to Antonio Banderas?", false}, // boolean
+	}
+	for _, c := range cases {
+		_, qg := buildQS(t, c.q)
+		if got := qg.SelectVertex() >= 0; got != c.wantSelect {
+			t.Errorf("%q: select=%v, want %v (%s)", c.q, got, c.wantSelect, qg)
+		}
+	}
+}
+
+func TestQueryGraphWhUnconstrained(t *testing.T) {
+	_, qg := buildQS(t, "Who was married to Antonio Banderas?")
+	sel := qg.SelectVertex()
+	if sel < 0 || !qg.Vertices[sel].Unconstrained {
+		t.Fatalf("wh vertex should be unconstrained: %s", qg)
+	}
+}
+
+func TestQueryGraphWhDeterminedClass(t *testing.T) {
+	_, qg := buildQS(t, "Which movies did Antonio Banderas star in?")
+	sel := qg.SelectVertex()
+	if sel < 0 {
+		t.Fatalf("no select vertex: %s", qg)
+	}
+	v := qg.Vertices[sel]
+	if v.Unconstrained {
+		t.Fatalf("wh-determined NP should be class-constrained: %s", qg)
+	}
+	hasClass := false
+	for _, c := range v.Candidates {
+		if c.IsClass {
+			hasClass = true
+		}
+	}
+	if !hasClass {
+		t.Fatalf("no class candidate for 'movies': %s", qg)
+	}
+}
+
+func TestQueryGraphUnknownCommonNounDegrades(t *testing.T) {
+	s, ids := figure1System(t, Options{})
+	_ = ids
+	d := s.Dict
+	y := mustParse(t, "Which frobnicators did Antonio Banderas star in?")
+	rels := ExtractRelations(y, d, ExtractOptions{})
+	if len(rels) == 0 {
+		t.Skip("no relation extracted for synthetic noun")
+	}
+	qg := BuildQueryGraph(y, rels, linker.New(s.Graph, linker.Options{}), BuildOptions{})
+	for _, v := range qg.Vertices {
+		if strings.Contains(v.Arg.Text, "frobnicator") && !v.Unconstrained {
+			t.Fatalf("unlinkable wh-NP should degrade to unconstrained: %s", qg)
+		}
+	}
+}
+
+func TestQueryGraphProperNounStaysConstrained(t *testing.T) {
+	_, qg := buildQS(t, "Who was married to Zanzibar Quux?")
+	// Unlinkable *proper* mention must stay constrained (and empty) so the
+	// entity-linking failure is detected, not silently matched.
+	for _, v := range qg.Vertices {
+		if strings.Contains(v.Arg.Text, "Zanzibar") {
+			if v.Unconstrained || len(v.Candidates) != 0 {
+				t.Fatalf("proper mention degraded: %s", qg)
+			}
+			return
+		}
+	}
+	t.Fatalf("Zanzibar vertex missing: %s", qg)
+}
+
+func TestQueryGraphStringRendering(t *testing.T) {
+	_, qg := buildQS(t, "Who was married to an actor that played in Philadelphia?")
+	s := qg.String()
+	for _, want := range []string{"v0", "be married to", "play in"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestAggregateRewrites(t *testing.T) {
+	y := mustParse(t, "How many films did Antonio Banderas star in?")
+	got, ok := rewriteHowMany(y)
+	if !ok || got != "Which films did Antonio Banderas star in?" {
+		t.Fatalf("rewrite = %q, %v", got, ok)
+	}
+	y = mustParse(t, "How many children did Margaret Thatcher have?")
+	got, ok = rewriteHowMany(y)
+	if !ok || got != "Give me the children of Margaret Thatcher." {
+		t.Fatalf("possessive rewrite = %q, %v", got, ok)
+	}
+	y = mustParse(t, "Who was married to Antonio Banderas?")
+	if _, ok := rewriteHowMany(y); ok {
+		t.Fatal("non-counting question rewritten")
+	}
+}

@@ -1,0 +1,333 @@
+package core
+
+// A brute-force reference implementation of Definition 3/6 and property
+// tests checking that the TA-style matcher agrees with it on random query
+// graphs over random RDF graphs — the strongest correctness evidence for
+// the paper's central algorithm.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gqa/internal/dict"
+	"gqa/internal/rdf"
+	"gqa/internal/store"
+)
+
+// bruteForceMatches enumerates every injective assignment of query
+// vertices to graph vertices, checks Definition 3 directly, and scores by
+// Definition 6 (best path/candidate justification per edge/vertex).
+func bruteForceMatches(g *store.Graph, q *QueryGraph) []Match {
+	n := len(q.Vertices)
+	if n == 0 {
+		return nil
+	}
+	universe := allVertices(g)
+	assign := make([]store.ID, n)
+	via := make([]store.ID, n)
+	scores := make([]float64, n)
+	var out []Match
+
+	var rec func(vi int)
+	rec = func(vi int) {
+		if vi == n {
+			m, ok := checkAssignment(g, q, assign, via, scores)
+			if ok {
+				out = append(out, m)
+			}
+			return
+		}
+		v := &q.Vertices[vi]
+		candidates := universe
+		if !v.Unconstrained {
+			candidates = nil
+			seen := map[store.ID]bool{}
+			for _, c := range v.Candidates {
+				if c.IsClass {
+					for _, inst := range g.InstancesOf(c.ID) {
+						if !seen[inst] {
+							seen[inst] = true
+							candidates = append(candidates, inst)
+						}
+					}
+				} else if !seen[c.ID] {
+					seen[c.ID] = true
+					candidates = append(candidates, c.ID)
+				}
+			}
+		}
+	cand:
+		for _, u := range candidates {
+			for j := 0; j < vi; j++ {
+				if assign[j] == u {
+					continue cand
+				}
+			}
+			acc, ok := bruteAccept(g, v, u)
+			if !ok {
+				continue
+			}
+			assign[vi], via[vi], scores[vi] = u, acc.via, acc.score
+			rec(vi + 1)
+		}
+	}
+	rec(0)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+func allVertices(g *store.Graph) []store.ID {
+	var out []store.ID
+	for v := 0; v < g.NumTerms(); v++ {
+		id := store.ID(v)
+		if g.Term(id).IsIRI() && g.Degree(id) > 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func bruteAccept(g *store.Graph, v *Vertex, u store.ID) (acceptance, bool) {
+	if v.Unconstrained {
+		return acceptance{via: store.None, score: 1.0}, true
+	}
+	best := acceptance{via: store.None, score: -1}
+	for _, c := range v.Candidates {
+		switch {
+		case !c.IsClass && c.ID == u:
+			if c.Score > best.score {
+				best = acceptance{via: store.None, score: c.Score}
+			}
+		case c.IsClass && g.HasType(u, c.ID):
+			if c.Score > best.score {
+				best = acceptance{via: c.ID, score: c.Score}
+			}
+		}
+	}
+	if best.score < 0 {
+		return acceptance{}, false
+	}
+	return best, true
+}
+
+func checkAssignment(g *store.Graph, q *QueryGraph, assign, via []store.ID, scores []float64) (Match, bool) {
+	m := Match{
+		Assignment: append([]store.ID(nil), assign...),
+		Via:        append([]store.ID(nil), via...),
+		EdgePaths:  make([]dict.Path, len(q.Edges)),
+	}
+	score := 0.0
+	for _, s := range scores {
+		score += math.Log(s)
+	}
+	for ei, e := range q.Edges {
+		found := false
+		for _, pc := range e.Candidates {
+			if dict.PathConnects(g, assign[e.From], assign[e.To], pc.Path) {
+				m.EdgePaths[ei] = pc.Path
+				score += math.Log(pc.Score)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Match{}, false
+		}
+	}
+	m.Score = score
+	return m, true
+}
+
+// randomQuerySetup builds a random graph and a random 2–3 vertex query
+// graph with candidate lists drawn from it.
+func randomQuerySetup(r *rand.Rand) (*store.Graph, *QueryGraph) {
+	g := store.New()
+	nv := 6 + r.Intn(10)
+	verts := make([]store.ID, nv)
+	for i := range verts {
+		verts[i] = g.Intern(rdf.Resource(fmt.Sprintf("v%d", i)))
+	}
+	np := 2 + r.Intn(3)
+	preds := make([]store.ID, np)
+	for i := range preds {
+		preds[i] = g.Intern(rdf.Ontology(fmt.Sprintf("p%d", i)))
+	}
+	// A class with some instances.
+	class := g.Intern(rdf.Ontology("C"))
+	typ := g.Intern(rdf.NewIRI(rdf.RDFType))
+	for i := 0; i < nv/2; i++ {
+		g.AddSPO(verts[r.Intn(nv)], typ, class)
+	}
+	ne := nv + r.Intn(3*nv)
+	for i := 0; i < ne; i++ {
+		s, o := verts[r.Intn(nv)], verts[r.Intn(nv)]
+		if s != o {
+			g.AddSPO(s, preds[r.Intn(np)], o)
+		}
+	}
+
+	// Query: 2 or 3 vertices in a path shape.
+	qn := 2 + r.Intn(2)
+	q := &QueryGraph{}
+	for i := 0; i < qn; i++ {
+		v := Vertex{Arg: Argument{Text: fmt.Sprintf("a%d", i)}}
+		switch r.Intn(3) {
+		case 0:
+			v.Unconstrained = true
+			v.Arg.Wh = true
+		case 1:
+			// Entity candidates.
+			k := 1 + r.Intn(3)
+			for j := 0; j < k; j++ {
+				v.Candidates = append(v.Candidates, VertexCandidate{
+					ID:    verts[r.Intn(nv)],
+					Score: 0.2 + 0.8*r.Float64(),
+				})
+			}
+			sort.SliceStable(v.Candidates, func(a, b int) bool { return v.Candidates[a].Score > v.Candidates[b].Score })
+		default:
+			v.Candidates = []VertexCandidate{{ID: class, IsClass: true, Score: 0.5 + 0.5*r.Float64()}}
+		}
+		q.Vertices = append(q.Vertices, v)
+	}
+	q.Vertices[0].Select = true
+	d := dict.New()
+	for i := 1; i < qn; i++ {
+		var cands []EdgeCandidate
+		k := 1 + r.Intn(2)
+		for j := 0; j < k; j++ {
+			var p dict.Path
+			plen := 1
+			if r.Intn(4) == 0 {
+				plen = 2
+			}
+			for s := 0; s < plen; s++ {
+				p = append(p, dict.Step{Pred: preds[r.Intn(np)], Forward: r.Intn(2) == 0})
+			}
+			cands = append(cands, EdgeCandidate{Path: p, Score: 0.2 + 0.8*r.Float64()})
+		}
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].Score > cands[b].Score })
+		phrase := d.Add(fmt.Sprintf("rel%d", i), nil)
+		q.Edges = append(q.Edges, Edge{From: i - 1, To: i, Phrase: phrase, Candidates: cands})
+	}
+	return g, q
+}
+
+func matchKey(m Match) string {
+	s := ""
+	for _, u := range m.Assignment {
+		s += fmt.Sprintf("%d.", u)
+	}
+	return s
+}
+
+// TestQuickMatcherAgreesWithBruteForce: the top-k matcher must find
+// exactly the assignments the brute-force reference finds within the
+// retained score range, with identical scores.
+func TestQuickMatcherAgreesWithBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, q := randomQuerySetup(r)
+		ref := bruteForceMatches(g, q)
+		got, _ := FindTopKMatches(g, q, MatchOptions{TopK: 1000, Exhaustive: true})
+
+		refByKey := make(map[string]float64, len(ref))
+		for _, m := range ref {
+			if old, ok := refByKey[matchKey(m)]; !ok || m.Score > old {
+				refByKey[matchKey(m)] = m.Score
+			}
+		}
+		gotByKey := make(map[string]float64, len(got))
+		for _, m := range got {
+			gotByKey[matchKey(m)] = m.Score
+		}
+		if len(refByKey) != len(gotByKey) {
+			t.Logf("seed %d: ref %d matches, got %d (query %s)", seed, len(refByKey), len(gotByKey), q)
+			return false
+		}
+		for k, rs := range refByKey {
+			gs, ok := gotByKey[k]
+			if !ok {
+				t.Logf("seed %d: missing assignment %s", seed, k)
+				return false
+			}
+			if math.Abs(gs-rs) > 1e-9 {
+				t.Logf("seed %d: score mismatch %s: %f vs %f", seed, k, gs, rs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTATopKIsPrefixOfExhaustive: with early termination on, the
+// returned matches must be exactly the top-k score buckets of the
+// exhaustive result.
+func TestQuickTATopKIsPrefixOfExhaustive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, q := randomQuerySetup(r)
+		k := 1 + r.Intn(3)
+		ta, _ := FindTopKMatches(g, q, MatchOptions{TopK: k})
+		ex, _ := FindTopKMatches(g, q, MatchOptions{TopK: k, Exhaustive: true})
+		if len(ta) != len(ex) {
+			t.Logf("seed %d k=%d: TA %d matches, exhaustive %d", seed, k, len(ta), len(ex))
+			return false
+		}
+		for i := range ta {
+			if math.Abs(ta[i].Score-ex[i].Score) > 1e-9 {
+				t.Logf("seed %d: score %d differs", seed, i)
+				return false
+			}
+		}
+		// Same assignment sets per score bucket.
+		taSet := map[string]bool{}
+		exSet := map[string]bool{}
+		for _, m := range ta {
+			taSet[matchKey(m)] = true
+		}
+		for _, m := range ex {
+			exSet[matchKey(m)] = true
+		}
+		for k := range taSet {
+			if !exSet[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPruningNeverChangesResults: neighborhood pruning is an
+// optimization, not a semantics change.
+func TestQuickPruningNeverChangesResults(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, q := randomQuerySetup(r)
+		a, _ := FindTopKMatches(g, q, MatchOptions{TopK: 1000, Exhaustive: true})
+		b, _ := FindTopKMatches(g, q, MatchOptions{TopK: 1000, Exhaustive: true, DisablePruning: true})
+		if len(a) != len(b) {
+			t.Logf("seed %d: %d vs %d matches", seed, len(a), len(b))
+			return false
+		}
+		for i := range a {
+			if matchKey(a[i]) != matchKey(b[i]) || math.Abs(a[i].Score-b[i].Score) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package core implements the paper's primary contribution: graph
+// data-driven question answering. It covers the online pipeline end to end —
+// semantic relation extraction from the dependency tree (Definition 1,
+// Algorithm 2), argument recognition with the four heuristic rules of
+// §4.1.2, semantic query graph construction (Definition 2, §4.1.3), phrase
+// mapping (§4.2.1), and top-k subgraph matching with the TA-style stopping
+// rule (Definitions 3 and 6, Algorithm 3).
+package core
+
+import (
+	"sort"
+
+	"gqa/internal/dict"
+	"gqa/internal/nlp"
+)
+
+// Argument is one argument slot of a semantic relation: a node of the
+// dependency tree plus its rendered text.
+type Argument struct {
+	Node int    // head token index in Y; -1 when unfilled
+	Text string // surface text of the argument phrase
+	Wh   bool   // pure wh-word ("who") or wh-determined NP ("which movies")
+}
+
+// Filled reports whether the slot holds an argument.
+func (a Argument) Filled() bool { return a.Node >= 0 }
+
+// SemanticRelation is the triple ⟨rel, arg1, arg2⟩ of Definition 1,
+// anchored to its embedding in the dependency tree (Definition 5).
+type SemanticRelation struct {
+	Phrase    *dict.Phrase // the dictionary relation phrase rel
+	Root      int          // root node of the embedding subtree
+	Embedding []int        // token indices of the embedding, ascending
+	Arg1      Argument
+	Arg2      Argument
+	// Rule records which heuristic found each argument: 0 = the base
+	// subject/object scan, 1–4 = the corresponding rule of §4.1.2. Used by
+	// the Table 9 ablation.
+	Rule [2]int
+}
+
+// embeddingCandidate is an embedding found by Algorithm 2 before
+// maximality filtering.
+type embeddingCandidate struct {
+	phrase *dict.Phrase
+	root   int
+	nodes  []int
+}
+
+// FindEmbeddings implements Algorithm 2: for every node of Y, probe the
+// inverted index and search depth-first for subtrees that contain exactly
+// the words of some relation phrase. Maximality (Definition 5 condition 2)
+// is enforced afterwards: embeddings whose node sets are contained in a
+// larger accepted embedding are dropped, and overlapping embeddings are
+// resolved in favor of the larger phrase.
+// canonLemma maps a tree node's lemma into the dictionary's lemma space.
+// The tagger lemmatizes by POS ("founded"/VBN → "found"), while dictionary
+// phrase words are lemmatized without POS ("found" → "find"); applying the
+// untagged lemmatizer to the tree lemma lands both on the same key.
+func canonLemma(n *nlp.Node) string { return nlp.Lemma(n.Lemma, "") }
+
+func FindEmbeddings(y *nlp.DepTree, d *dict.Dictionary) []embeddingCandidate {
+	var found []embeddingCandidate
+	for root := 0; root < y.Size(); root++ {
+		rootLemma := canonLemma(y.Node(root))
+		for _, phrase := range d.PhrasesWithWord(rootLemma) {
+			nodes, ok := embedAt(y, root, phrase)
+			if ok {
+				found = append(found, embeddingCandidate{phrase: phrase, root: root, nodes: nodes})
+			}
+		}
+	}
+	return filterMaximal(found)
+}
+
+// embedAt checks whether an embedding of phrase rooted at root exists: a
+// connected subtree each of whose nodes carries a word of the phrase,
+// jointly covering all phrase words. It returns the chosen node set.
+func embedAt(y *nlp.DepTree, root int, phrase *dict.Phrase) ([]int, bool) {
+	want := make(map[string]int)
+	for _, w := range phrase.Lemmas {
+		want[w]++
+	}
+	if want[canonLemma(y.Node(root))] == 0 {
+		return nil, false
+	}
+	// Depth-first probe (the Probe function of Algorithm 2): descend only
+	// into children whose lemma is still needed.
+	need := make(map[string]int, len(want))
+	for w, c := range want {
+		need[w] = c
+	}
+	var nodes []int
+	var probe func(n int)
+	take := func(n int) bool {
+		l := canonLemma(y.Node(n))
+		if need[l] == 0 {
+			return false
+		}
+		need[l]--
+		nodes = append(nodes, n)
+		return true
+	}
+	probe = func(n int) {
+		for _, c := range y.ChildrenOf(n) {
+			if take(c) {
+				probe(c)
+			}
+		}
+	}
+	if !take(root) {
+		return nil, false
+	}
+	probe(root)
+	for _, c := range need {
+		if c > 0 {
+			return nil, false
+		}
+	}
+	sort.Ints(nodes)
+	return nodes, true
+}
+
+// filterMaximal keeps, among overlapping embeddings, the ones covering the
+// most words (ties: the one whose phrase has more words, then earliest
+// root), and drops embeddings strictly contained in an accepted one.
+func filterMaximal(cands []embeddingCandidate) []embeddingCandidate {
+	sort.SliceStable(cands, func(i, j int) bool {
+		if len(cands[i].nodes) != len(cands[j].nodes) {
+			return len(cands[i].nodes) > len(cands[j].nodes)
+		}
+		if len(cands[i].phrase.Lemmas) != len(cands[j].phrase.Lemmas) {
+			return len(cands[i].phrase.Lemmas) > len(cands[j].phrase.Lemmas)
+		}
+		return cands[i].root < cands[j].root
+	})
+	used := make(map[int]bool)
+	var out []embeddingCandidate
+	for _, c := range cands {
+		overlap := false
+		for _, n := range c.nodes {
+			if used[n] {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		for _, n := range c.nodes {
+			used[n] = true
+		}
+		out = append(out, c)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].root < out[j].root })
+	return out
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"gqa/internal/nlp"
+)
+
+func mustParse(t *testing.T, q string) *nlp.DepTree {
+	t.Helper()
+	y, err := nlp.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return y
+}
+
+func TestFindEmbeddingsRunningExample(t *testing.T) {
+	_, ids := figure1System(t, Options{})
+	d := figure1Dict(ids)
+	y := mustParse(t, "Who was married to an actor that played in Philadelphia?")
+	embs := FindEmbeddings(y, d)
+	if len(embs) != 2 {
+		t.Fatalf("got %d embeddings, want 2", len(embs))
+	}
+	texts := map[string]bool{}
+	for _, e := range embs {
+		texts[e.phrase.Text] = true
+	}
+	if !texts["be married to"] || !texts["play in"] {
+		t.Fatalf("embeddings = %v", texts)
+	}
+}
+
+func TestEmbeddingMaximality(t *testing.T) {
+	_, ids := figure1System(t, Options{})
+	d := figure1Dict(ids)
+	// Add a sub-phrase that must lose to the longer embedding.
+	d.Add("marry", d.Phrases()[0].Entries)
+	y := mustParse(t, "Who was married to Antonio Banderas?")
+	embs := FindEmbeddings(y, d)
+	if len(embs) != 1 {
+		t.Fatalf("got %d embeddings", len(embs))
+	}
+	if embs[0].phrase.Text != "be married to" {
+		t.Fatalf("maximality picked %q", embs[0].phrase.Text)
+	}
+}
+
+func TestEmbeddingRequiresConnectedWords(t *testing.T) {
+	_, ids := figure1System(t, Options{})
+	d := figure1Dict(ids)
+	// "play in" must not be found when "in" is not below "play"'s subtree
+	// region — e.g. a question containing "play" but whose "in" hangs
+	// elsewhere. "Did Banderas play?" has no "in" at all.
+	y := mustParse(t, "Did Antonio Banderas play?")
+	for _, e := range FindEmbeddings(y, d) {
+		if e.phrase.Text == "play in" {
+			t.Fatalf("found 'play in' without 'in': %v", e.nodes)
+		}
+	}
+}
+
+func TestExtractRelationsArguments(t *testing.T) {
+	_, ids := figure1System(t, Options{})
+	d := figure1Dict(ids)
+	y := mustParse(t, "Who was married to an actor that played in Philadelphia?")
+	rels := ExtractRelations(y, d, ExtractOptions{})
+	if len(rels) != 2 {
+		t.Fatalf("got %d relations", len(rels))
+	}
+	var married, play *SemanticRelation
+	for i := range rels {
+		switch rels[i].Phrase.Text {
+		case "be married to":
+			married = &rels[i]
+		case "play in":
+			play = &rels[i]
+		}
+	}
+	if married == nil || play == nil {
+		t.Fatal("missing relations")
+	}
+	if married.Arg1.Text != "who" || !married.Arg1.Wh {
+		t.Fatalf("married arg1 = %+v", married.Arg1)
+	}
+	if married.Arg2.Text != "actor" {
+		t.Fatalf("married arg2 = %+v", married.Arg2)
+	}
+	if play.Arg1.Text != "that" {
+		t.Fatalf("play arg1 = %+v", play.Arg1)
+	}
+	if play.Arg2.Text != "Philadelphia" {
+		t.Fatalf("play arg2 = %+v", play.Arg2)
+	}
+	// Base rule found all four arguments.
+	if married.Rule[0] != 0 || married.Rule[1] != 0 {
+		t.Fatalf("married rules = %v", married.Rule)
+	}
+}
+
+func TestRule2RootAsArgument(t *testing.T) {
+	_, ids := figure1System(t, Options{})
+	d := figure1Dict(ids)
+	d.Add("director of", d.Phrases()[3].Entries) // reuse director path
+	y := mustParse(t, "Give me the director of Philadelphia.")
+	rels := ExtractRelations(y, d, ExtractOptions{})
+	if len(rels) != 1 {
+		t.Fatalf("got %d relations: %+v", len(rels), rels)
+	}
+	r := rels[0]
+	// "director" (embedding root, dobj of Give) becomes arg1 via Rule 2.
+	if r.Arg1.Text != "director" || r.Rule[0] != 2 {
+		t.Fatalf("arg1 = %+v rule %v", r.Arg1, r.Rule)
+	}
+	if r.Arg2.Text != "Philadelphia" {
+		t.Fatalf("arg2 = %+v", r.Arg2)
+	}
+}
+
+func TestRuleExtendedNounParent(t *testing.T) {
+	_, ids := figure1System(t, Options{})
+	d := figure1Dict(ids)
+	y := mustParse(t, "Give me all movies directed by Jonathan Demme.")
+	rels := ExtractRelations(y, d, ExtractOptions{})
+	if len(rels) != 1 {
+		t.Fatalf("got %d relations: %+v", len(rels), rels)
+	}
+	r := rels[0]
+	if r.Arg1.Text != "movies" || r.Rule[0] != 2 {
+		t.Fatalf("arg1 = %+v rule %v", r.Arg1, r.Rule)
+	}
+	if r.Arg2.Text != "Jonathan Demme" {
+		t.Fatalf("arg2 = %+v", r.Arg2)
+	}
+}
+
+func TestRulesDisabledDropsRelations(t *testing.T) {
+	_, ids := figure1System(t, Options{})
+	d := figure1Dict(ids)
+	y := mustParse(t, "Give me all movies directed by Jonathan Demme.")
+	rels := ExtractRelations(y, d, ExtractOptions{DisableHeuristicRules: true})
+	// Without Rule 2, arg1 of "directed by" cannot be found → discarded.
+	if len(rels) != 0 {
+		t.Fatalf("rules disabled still extracted %d relations: %+v", len(rels), rels)
+	}
+	// The base case still works where plain subject/object dependencies
+	// exist.
+	y = mustParse(t, "Who was married to Antonio Banderas?")
+	rels = ExtractRelations(y, d, ExtractOptions{DisableHeuristicRules: true})
+	if len(rels) != 1 {
+		t.Fatalf("base-rule extraction failed: %+v", rels)
+	}
+}
+
+func TestConjSubjectInheritance(t *testing.T) {
+	g, ids := figure1Graph(t)
+	_ = g
+	d := figure1Dict(ids)
+	p1 := d.Phrases()[0].Entries
+	d.Add("be born in", p1)
+	d.Add("die in", p1)
+	y := mustParse(t, "Give me all people that were born in Vienna and died in Berlin.")
+	rels := ExtractRelations(y, d, ExtractOptions{})
+	if len(rels) != 2 {
+		t.Fatalf("got %d relations: %+v", len(rels), rels)
+	}
+	if rels[0].Arg1.Node != rels[1].Arg1.Node {
+		t.Fatalf("conj subject not inherited: %+v vs %+v", rels[0].Arg1, rels[1].Arg1)
+	}
+}
+
+func TestArgumentTextExcludesClauses(t *testing.T) {
+	y := mustParse(t, "Who was married to an actor that played in Philadelphia?")
+	// Find the "actor" node.
+	for i := 0; i < y.Size(); i++ {
+		if y.Node(i).Lower == "actor" {
+			if got := argumentText(y, i); got != "actor" {
+				t.Fatalf("argumentText = %q", got)
+			}
+		}
+	}
+	y = mustParse(t, "In which city was the former Dutch queen Juliana buried?")
+	for i := 0; i < y.Size(); i++ {
+		if y.Node(i).Lower == "juliana" {
+			if got := argumentText(y, i); got != "former Dutch queen Juliana" {
+				t.Fatalf("argumentText = %q", got)
+			}
+		}
+	}
+}

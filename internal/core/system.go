@@ -1,0 +1,299 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"time"
+
+	"gqa/internal/dict"
+	"gqa/internal/linker"
+	"gqa/internal/nlp"
+	"gqa/internal/store"
+)
+
+// System is the assembled RDF Q/A engine: graph + paraphrase dictionary +
+// entity linker, with the options threading through both online stages.
+type System struct {
+	Graph  *store.Graph
+	Dict   *dict.Dictionary
+	Linker *linker.Linker
+	Opts   Options
+
+	superlatives map[string]Superlative // see RegisterSuperlative
+}
+
+// Options configures the online pipeline.
+type Options struct {
+	// TopK matches returned (paper experiments use k = 10).
+	TopK int
+	// MaxVertexCandidates caps entity-linking lists.
+	MaxVertexCandidates int
+	// DisableHeuristicRules reproduces the "without the four rules" column
+	// of Table 9.
+	DisableHeuristicRules bool
+	// DisablePruning turns off neighborhood-based pruning (ablation).
+	DisablePruning bool
+	// Exhaustive disables the TA early-termination rule (ablation).
+	Exhaustive bool
+	// EnableAggregation turns on the counting/superlative extension (the
+	// paper's future work; see aggregate.go). Off by default so the
+	// failure taxonomy of Table 10 reproduces.
+	EnableAggregation bool
+}
+
+// NewSystem builds a System over a loaded graph and mined dictionary.
+func NewSystem(g *store.Graph, d *dict.Dictionary, opts Options) *System {
+	return &System{
+		Graph:  g,
+		Dict:   d,
+		Linker: linker.New(g, linker.Options{}),
+		Opts:   opts,
+	}
+}
+
+// FailureKind categorizes why a question produced no (or unreliable)
+// answers, following the taxonomy of Table 10.
+type FailureKind int
+
+const (
+	FailureNone FailureKind = iota
+	// FailureEntityLinking: some argument mention linked to nothing.
+	FailureEntityLinking
+	// FailureRelationExtraction: no semantic relation could be extracted
+	// and no type-only fallback applied.
+	FailureRelationExtraction
+	// FailureAggregation: the question needs aggregation (superlatives,
+	// counts) that the approach cannot express (Table 10 category 3).
+	FailureAggregation
+	// FailureNoMatch: a query graph was built but no subgraph match exists.
+	FailureNoMatch
+)
+
+func (f FailureKind) String() string {
+	switch f {
+	case FailureNone:
+		return "none"
+	case FailureEntityLinking:
+		return "entity-linking"
+	case FailureRelationExtraction:
+		return "relation-extraction"
+	case FailureAggregation:
+		return "aggregation"
+	case FailureNoMatch:
+		return "no-match"
+	}
+	return "unknown"
+}
+
+// Timing breaks the online time into the stages of Table 3 / Figure 6.
+type Timing struct {
+	Parse         time.Duration // dependency tree construction
+	Understanding time.Duration // relations + Q^S (includes Parse)
+	Evaluation    time.Duration // phrase mapping + top-k matching
+	Total         time.Duration
+}
+
+// Result is the full outcome of answering one question.
+type Result struct {
+	Question  string
+	Tree      *nlp.DepTree
+	Relations []SemanticRelation
+	Query     *QueryGraph
+	Matches   []Match
+	// Answers are the bindings of the select vertex across the top-k
+	// matches, best first, deduplicated.
+	Answers []store.ID
+	// Boolean is set for ASK-style questions (no select vertex).
+	Boolean *bool
+	// Count is set for counting questions when the aggregation extension
+	// is enabled ("How many …").
+	Count *int
+	// Aggregated reports that the aggregation extension rewrote the
+	// question.
+	Aggregated bool
+	Failure    FailureKind
+	Timing     Timing
+	Stats      MatchStats
+}
+
+// AnswerLabels renders the answers with the graph's labels.
+func (r *Result) AnswerLabels(g *store.Graph) []string {
+	out := make([]string, len(r.Answers))
+	for i, id := range r.Answers {
+		out[i] = g.LabelOf(id)
+	}
+	return out
+}
+
+// Answer runs the full online pipeline of §4 on one natural-language
+// question.
+func (s *System) Answer(question string) (*Result, error) {
+	if strings.TrimSpace(question) == "" {
+		return nil, errors.New("core: empty question")
+	}
+	res := &Result{Question: question}
+	start := time.Now()
+
+	// ---- Stage 1: question understanding (§4.1).
+	y, err := nlp.Parse(question)
+	if err != nil {
+		return nil, err
+	}
+	res.Tree = y
+	res.Timing.Parse = time.Since(start)
+
+	if s.isAggregation(y) {
+		if agg, err := s.tryAggregate(question, y); err != nil {
+			return nil, err
+		} else if agg != nil {
+			return agg, nil
+		}
+		res.Failure = FailureAggregation
+		res.Timing.Understanding = time.Since(start)
+		res.Timing.Total = res.Timing.Understanding
+		return res, nil
+	}
+
+	res.Relations = ExtractRelations(y, s.Dict, ExtractOptions{
+		DisableHeuristicRules: s.Opts.DisableHeuristicRules,
+	})
+	if len(res.Relations) == 0 {
+		// Type-only fallback: "Give me all Argentine films." has no
+		// relation phrase; the focus NP alone defines an instance query.
+		if q := s.typeOnlyQuery(y); q != nil {
+			res.Query = q
+		} else {
+			res.Failure = FailureRelationExtraction
+			res.Timing.Understanding = time.Since(start)
+			res.Timing.Total = res.Timing.Understanding
+			return res, nil
+		}
+	} else {
+		res.Query = BuildQueryGraph(y, res.Relations, s.Linker, BuildOptions{
+			MaxVertexCandidates: s.Opts.MaxVertexCandidates,
+		})
+	}
+	res.Timing.Understanding = time.Since(start)
+
+	// Entity-linking failure: a constrained vertex with no candidates.
+	for _, v := range res.Query.Vertices {
+		if !v.Unconstrained && len(v.Candidates) == 0 {
+			res.Failure = FailureEntityLinking
+			res.Timing.Total = time.Since(start)
+			return res, nil
+		}
+	}
+
+	// ---- Stage 2: query evaluation (§4.2).
+	evalStart := time.Now()
+	matches, stats := FindTopKMatches(s.Graph, res.Query, MatchOptions{
+		TopK:           s.Opts.TopK,
+		DisablePruning: s.Opts.DisablePruning,
+		Exhaustive:     s.Opts.Exhaustive,
+	})
+	res.Matches = matches
+	res.Stats = stats
+	res.Timing.Evaluation = time.Since(evalStart)
+	res.Timing.Total = time.Since(start)
+
+	sel := res.Query.SelectVertex()
+	if sel < 0 {
+		b := len(matches) > 0
+		res.Boolean = &b
+		return res, nil
+	}
+	// Answers come from the best-scoring matches only (ties included): the
+	// top score is the resolved disambiguation; lower-ranked matches are
+	// alternative readings kept for inspection. ("Which city is the
+	// capital of Germany?" must answer Berlin, not also the cities a
+	// weaker candidate path reaches.)
+	seen := make(map[store.ID]struct{})
+	for _, m := range matches {
+		if m.Score != matches[0].Score {
+			break
+		}
+		u := m.Assignment[sel]
+		if _, dup := seen[u]; dup {
+			continue
+		}
+		seen[u] = struct{}{}
+		res.Answers = append(res.Answers, u)
+	}
+	if len(res.Answers) == 0 {
+		res.Failure = FailureNoMatch
+	}
+	return res, nil
+}
+
+// answerNonAggregate runs the base pipeline on a rewritten question with
+// the aggregation extension suppressed, preventing rewrite loops.
+func (s *System) answerNonAggregate(question string) (*Result, error) {
+	s2 := *s
+	s2.Opts.EnableAggregation = false
+	return s2.Answer(question)
+}
+
+// isAggregation detects questions outside the approach's reach: counting
+// ("how many") and superlative selection ("the youngest player"), which
+// need SPARQL aggregation (Table 10, Q13-style failures). A superlative
+// that is part of a known relation phrase ("the largest city in" →
+// ⟨largestCity⟩) is exempt — the KB materializes the superlative as a
+// predicate, so the question is answerable (the paper's Q86).
+func (s *System) isAggregation(y *nlp.DepTree) bool {
+	for i := 0; i < y.Size(); i++ {
+		n := y.Node(i)
+		if n.Tag == "JJS" && len(s.Dict.PhrasesWithWord(n.Lemma)) == 0 {
+			return true
+		}
+		if n.Lower == "many" || n.Lower == "much" {
+			if i > 0 && y.Node(i-1).Lower == "how" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// typeOnlyQuery builds a single-vertex Q^S from the question's focus NP
+// when no relation phrase exists: the wh/dobj NP is linked and its class
+// reading answers via instance enumeration during matching. Returns nil
+// when no linkable focus exists.
+func (s *System) typeOnlyQuery(y *nlp.DepTree) *QueryGraph {
+	focus := -1
+	for i := 0; i < y.Size(); i++ {
+		n := y.Node(i)
+		if (n.Rel == nlp.RelDobj || n.Rel == nlp.RelNsubj || n.Head == -1) && nlp.IsNounTag(n.Tag) {
+			focus = i
+			break
+		}
+	}
+	if focus < 0 {
+		return nil
+	}
+	arg := makeArgument(y, focus)
+	cands := s.Linker.Link(arg.Text, maxInt(s.Opts.MaxVertexCandidates, 10))
+	var vcs []VertexCandidate
+	for _, c := range cands {
+		if c.IsClass {
+			vcs = append(vcs, VertexCandidate{ID: c.ID, IsClass: true, Score: c.Score})
+		}
+	}
+	if len(vcs) == 0 {
+		return nil
+	}
+	// Keep only the best class reading: without an edge to disambiguate,
+	// enumerating instances of every weakly-similar class would flood the
+	// answer set.
+	sort.SliceStable(vcs, func(i, j int) bool { return vcs[i].Score > vcs[j].Score })
+	vcs = vcs[:1]
+	q := &QueryGraph{Vertices: []Vertex{{Arg: arg, Candidates: vcs, Select: true}}}
+	return q
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

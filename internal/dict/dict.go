@@ -1,0 +1,187 @@
+package dict
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gqa/internal/nlp"
+	"gqa/internal/store"
+)
+
+// Entry is one candidate interpretation of a relation phrase: a predicate
+// path L with its confidence probability δ(rel, L) (Equation 1, normalized
+// to (0, 1]).
+type Entry struct {
+	Path  Path
+	Score float64
+}
+
+// Phrase is a relation phrase with its ranked candidate list.
+type Phrase struct {
+	Text    string   // surface text, e.g. "be married to"
+	Lemmas  []string // lemma sequence, e.g. [be marry to]
+	Entries []Entry  // sorted by descending Score
+}
+
+// Key returns the canonical lemma key of a phrase text.
+func Key(text string) string { return strings.Join(nlp.LemmatizePhrase(text), " ") }
+
+// Dictionary is the paraphrase dictionary D (§3, Figure 3): relation
+// phrases mapped to top-k predicates / predicate paths, plus the inverted
+// word index used by Algorithm 2.
+type Dictionary struct {
+	phrases  map[string]*Phrase  // lemma key → phrase
+	inverted map[string][]string // lemma word → phrase keys containing it
+	ordered  []string            // insertion-ordered keys, for determinism
+}
+
+// New returns an empty dictionary.
+func New() *Dictionary {
+	return &Dictionary{
+		phrases:  make(map[string]*Phrase),
+		inverted: make(map[string][]string),
+	}
+}
+
+// Add inserts (or replaces) a phrase with its entries; entries are sorted
+// by descending score. Scores must be positive.
+func (d *Dictionary) Add(text string, entries []Entry) *Phrase {
+	key := Key(text)
+	sorted := append([]Entry(nil), entries...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	p := &Phrase{Text: text, Lemmas: nlp.LemmatizePhrase(text), Entries: sorted}
+	if _, exists := d.phrases[key]; !exists {
+		d.ordered = append(d.ordered, key)
+		for _, w := range dedupeWords(p.Lemmas) {
+			d.inverted[w] = append(d.inverted[w], key)
+		}
+	}
+	d.phrases[key] = p
+	return p
+}
+
+func dedupeWords(ws []string) []string {
+	seen := make(map[string]bool, len(ws))
+	var out []string
+	for _, w := range ws {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Lookup returns the phrase whose lemma key matches text, if any.
+func (d *Dictionary) Lookup(text string) (*Phrase, bool) {
+	p, ok := d.phrases[Key(text)]
+	return p, ok
+}
+
+// LookupLemmas returns the phrase for an exact lemma sequence.
+func (d *Dictionary) LookupLemmas(lemmas []string) (*Phrase, bool) {
+	p, ok := d.phrases[strings.Join(lemmas, " ")]
+	return p, ok
+}
+
+// PhrasesWithWord returns every phrase containing the lemma w — the
+// inverted-index probe of Algorithm 2 (steps 1–2).
+func (d *Dictionary) PhrasesWithWord(w string) []*Phrase {
+	keys := d.inverted[nlp.Lemma(strings.ToLower(w), "")]
+	out := make([]*Phrase, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, d.phrases[k])
+	}
+	return out
+}
+
+// Len returns the number of phrases |T|.
+func (d *Dictionary) Len() int { return len(d.phrases) }
+
+// Phrases returns all phrases in insertion order.
+func (d *Dictionary) Phrases() []*Phrase {
+	out := make([]*Phrase, 0, len(d.ordered))
+	for _, k := range d.ordered {
+		out = append(out, d.phrases[k])
+	}
+	return out
+}
+
+// ---------------------------------------------------------- serialization
+
+// Encode writes the dictionary in a line-oriented text format:
+//
+//	phrase text<TAB>score<TAB>±<predIRI>[,±<predIRI>…]
+//
+// one line per entry, suitable for the gqa-mine CLI and for versioning the
+// mined dictionary alongside a dataset.
+func (d *Dictionary) Encode(w io.Writer, g *store.Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range d.Phrases() {
+		for _, e := range p.Entries {
+			steps := make([]string, len(e.Path))
+			for i, s := range e.Path {
+				sign := "+"
+				if !s.Forward {
+					sign = "-"
+				}
+				steps[i] = sign + g.Term(s.Pred).Value()
+			}
+			if _, err := fmt.Fprintf(bw, "%s\t%.6f\t%s\n", p.Text, e.Score, strings.Join(steps, ",")); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads the Encode format, interning predicate IRIs into g.
+func Decode(r io.Reader, g *store.Graph) (*Dictionary, error) {
+	d := New()
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	pending := make(map[string][]Entry)
+	var order []string
+	line := 0
+	for s.Scan() {
+		line++
+		text := strings.TrimSpace(s.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("dict: line %d: want 3 tab-separated fields, got %d", line, len(parts))
+		}
+		score, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dict: line %d: bad score: %v", line, err)
+		}
+		var path Path
+		for _, step := range strings.Split(parts[2], ",") {
+			if len(step) < 2 || (step[0] != '+' && step[0] != '-') {
+				return nil, fmt.Errorf("dict: line %d: bad step %q", line, step)
+			}
+			id, ok := g.LookupIRI(step[1:])
+			if !ok {
+				return nil, fmt.Errorf("dict: line %d: unknown predicate %q", line, step[1:])
+			}
+			path = append(path, Step{Pred: id, Forward: step[0] == '+'})
+		}
+		if _, seen := pending[parts[0]]; !seen {
+			order = append(order, parts[0])
+		}
+		pending[parts[0]] = append(pending[parts[0]], Entry{Path: path, Score: score})
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	for _, text := range order {
+		d.Add(text, pending[text])
+	}
+	return d, nil
+}

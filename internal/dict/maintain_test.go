@@ -1,0 +1,119 @@
+package dict
+
+import (
+	"testing"
+
+	"gqa/internal/rdf"
+	"gqa/internal/store"
+)
+
+func TestMaintainerMatchesFullMine(t *testing.T) {
+	g, sets, _ := minedFixture(t)
+	m := NewMaintainer(g, sets, MineOptions{MaxPathLen: 4, TopK: 3})
+	full, _ := Mine(g, sets, MineOptions{MaxPathLen: 4, TopK: 3})
+	assertSameDict(t, m.Dictionary(), full, g)
+}
+
+func assertSameDict(t *testing.T, a, b *Dictionary, g *store.Graph) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("dict sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	for _, pa := range a.Phrases() {
+		pb, ok := b.LookupLemmas(pa.Lemmas)
+		if !ok {
+			t.Fatalf("phrase %q missing", pa.Text)
+		}
+		if len(pa.Entries) != len(pb.Entries) {
+			t.Fatalf("phrase %q: %d vs %d entries", pa.Text, len(pa.Entries), len(pb.Entries))
+		}
+		for i := range pa.Entries {
+			if pa.Entries[i].Path.Key() != pb.Entries[i].Path.Key() {
+				t.Fatalf("phrase %q entry %d: %s vs %s", pa.Text, i,
+					pa.Entries[i].Path.Render(g), pb.Entries[i].Path.Render(g))
+			}
+		}
+	}
+}
+
+func TestMaintainerPredicateRemoved(t *testing.T) {
+	g, sets, ids := minedFixture(t)
+	m := NewMaintainer(g, sets, MineOptions{MaxPathLen: 4, TopK: 3})
+
+	// Remove hasChild entirely: "uncle of" loses its path entries.
+	if n := g.RemovePredicate(ids["hasChild"]); n == 0 {
+		t.Fatal("no hasChild triples removed")
+	}
+	m.PredicateRemoved(ids["hasChild"])
+	if p, ok := m.Dictionary().Lookup("uncle of"); ok {
+		for _, e := range p.Entries {
+			if pathUses(e.Path, ids["hasChild"]) {
+				t.Fatalf("stale path survives removal: %s", e.Path.Render(g))
+			}
+		}
+	}
+	// The incremental result equals a full re-mine of the mutated graph.
+	full, _ := Mine(g, sets, MineOptions{MaxPathLen: 4, TopK: 3})
+	assertSameDict(t, m.Dictionary(), full, g)
+	// Unrelated phrases are untouched.
+	if p, ok := m.Dictionary().Lookup("be married to"); !ok || p.Entries[0].Path[0].Pred != ids["spouse"] {
+		t.Fatal("unrelated phrase damaged by maintenance")
+	}
+}
+
+func TestMaintainerPredicateAdded(t *testing.T) {
+	g, sets, ids := minedFixture(t)
+	// Start from a graph lacking the spouse predicate: remove it first.
+	g.RemovePredicate(ids["spouse"])
+	m := NewMaintainer(g, sets, MineOptions{MaxPathLen: 4, TopK: 3})
+	if p, ok := m.Dictionary().Lookup("be married to"); ok {
+		for _, e := range p.Entries {
+			if len(e.Path) == 1 && e.Path[0].Pred == ids["spouse"] {
+				t.Fatal("spouse entry exists before predicate introduction")
+			}
+		}
+	}
+
+	// Introduce spouse triples and notify.
+	for i := 0; i < 3; i++ {
+		h, _ := g.Lookup(rdf.Resource("Husband" + string(rune('0'+i))))
+		w, _ := g.Lookup(rdf.Resource("Wife" + string(rune('0'+i))))
+		g.AddSPO(h, ids["spouse"], w)
+	}
+	remined := m.PredicateAdded(ids["spouse"])
+	if remined == 0 {
+		t.Fatal("no phrases re-mined")
+	}
+	p, ok := m.Dictionary().Lookup("be married to")
+	if !ok || len(p.Entries) == 0 || p.Entries[0].Path[0].Pred != ids["spouse"] {
+		t.Fatalf("spouse mapping not recovered: %+v", p)
+	}
+	// Incremental equals full re-mine.
+	full, _ := Mine(g, sets, MineOptions{MaxPathLen: 4, TopK: 3})
+	assertSameDict(t, m.Dictionary(), full, g)
+}
+
+func TestMaintainerAddPhrase(t *testing.T) {
+	g, sets, ids := minedFixture(t)
+	m := NewMaintainer(g, sets[:2], MineOptions{MaxPathLen: 4, TopK: 3})
+	if _, ok := m.Dictionary().Lookup("uncle of"); ok {
+		t.Fatal("phrase present before AddPhrase")
+	}
+	for _, s := range sets[2:] {
+		m.AddPhrase(s)
+	}
+	p, ok := m.Dictionary().Lookup("uncle of")
+	if !ok {
+		t.Fatal("added phrase missing")
+	}
+	want := Path{
+		{Pred: ids["hasChild"], Forward: false},
+		{Pred: ids["hasChild"], Forward: true},
+		{Pred: ids["hasChild"], Forward: true},
+	}
+	if p.Entries[0].Path.Key() != want.Key() {
+		t.Fatalf("uncle of → %s", p.Entries[0].Path.Render(g))
+	}
+	full, _ := Mine(g, sets, MineOptions{MaxPathLen: 4, TopK: 3})
+	assertSameDict(t, m.Dictionary(), full, g)
+}

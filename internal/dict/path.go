@@ -1,0 +1,291 @@
+// Package dict implements the paraphrase dictionary D of §3: the offline
+// mapping from relation phrases ("be married to", "uncle of") to RDF
+// predicates or predicate paths, mined from supporting entity pairs with
+// the tf-idf weighting of Definition 4 (Algorithm 1).
+//
+// It also provides the word-level inverted index over relation phrases that
+// Algorithm 2 (relation-phrase embedding search) consumes at question time.
+package dict
+
+import (
+	"fmt"
+	"strings"
+
+	"gqa/internal/store"
+)
+
+// Step is one edge of a predicate path: the predicate and whether the edge
+// is traversed along its direction (Forward) or against it.
+type Step struct {
+	Pred    store.ID
+	Forward bool
+}
+
+// Path is a sequence of predicate steps read from arg1 to arg2. A single
+// predicate is the length-1 special case (§3). "uncle of" is the motivating
+// multi-step example: ⟨hasChild⁻¹, hasChild, …⟩.
+type Path []Step
+
+// Key returns a canonical map key for the path.
+func (p Path) Key() string {
+	var b strings.Builder
+	for _, s := range p {
+		if s.Forward {
+			b.WriteByte('+')
+		} else {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(&b, "%d.", s.Pred)
+	}
+	return b.String()
+}
+
+// Reverse returns the path read from arg2 to arg1.
+func (p Path) Reverse() Path {
+	out := make(Path, len(p))
+	for i, s := range p {
+		out[len(p)-1-i] = Step{Pred: s.Pred, Forward: !s.Forward}
+	}
+	return out
+}
+
+// String renders the path with predicate local names, marking inverse steps
+// with ⁻¹, e.g. "<hasChild>⁻¹·<hasChild>".
+func (p Path) Render(g *store.Graph) string {
+	parts := make([]string, len(p))
+	for i, s := range p {
+		name := "<" + g.Term(s.Pred).LocalName() + ">"
+		if !s.Forward {
+			name += "⁻¹"
+		}
+		parts[i] = name
+	}
+	return strings.Join(parts, "·")
+}
+
+// SimplePathsDFS enumerates every simple path (no repeated vertex) between
+// from and to of length ≤ maxLen, ignoring edge direction but recording it
+// per step. It is the straightforward reference algorithm; the miner uses
+// SimplePathsBidirectional, which must agree with it (property-tested).
+//
+// Paths are returned as predicate-direction sequences; distinct vertex
+// routes yielding the same sequence are deduplicated, matching the paper's
+// treatment of PS(rel) as a set of predicate path patterns per pair.
+func SimplePathsDFS(g *store.Graph, from, to store.ID, maxLen int) []Path {
+	if maxLen <= 0 || from == to {
+		return nil
+	}
+	seen := make(map[string]struct{})
+	var out []Path
+	onPath := map[store.ID]bool{from: true}
+	var cur Path
+	var dfs func(v store.ID)
+	dfs = func(v store.ID) {
+		if len(cur) >= maxLen {
+			return
+		}
+		g.UndirectedNeighbors(v, func(n store.Neighbor) bool {
+			if g.IsSchemaPred(n.Pred) {
+				return true
+			}
+			if n.To == to {
+				p := append(append(Path{}, cur...), Step{Pred: n.Pred, Forward: n.Forward})
+				k := p.Key()
+				if _, dup := seen[k]; !dup {
+					seen[k] = struct{}{}
+					out = append(out, p)
+				}
+				return true
+			}
+			if onPath[n.To] {
+				return true
+			}
+			onPath[n.To] = true
+			cur = append(cur, Step{Pred: n.Pred, Forward: n.Forward})
+			dfs(n.To)
+			cur = cur[:len(cur)-1]
+			delete(onPath, n.To)
+			return true
+		})
+	}
+	dfs(from)
+	return out
+}
+
+// halfPath is a partial route from one endpoint: the vertex sequence and
+// step sequence walked so far.
+type halfPath struct {
+	verts []store.ID
+	steps Path
+}
+
+// SimplePathsBidirectional enumerates the same simple paths as
+// SimplePathsDFS using a meet-in-the-middle search (§3: "we adopt a
+// bi-directional BFS search from vertices v and v′"): routes of length up
+// to ⌈maxLen/2⌉ are expanded from both endpoints and joined at meeting
+// vertices, discarding joins that repeat a vertex.
+func SimplePathsBidirectional(g *store.Graph, from, to store.ID, maxLen int) []Path {
+	if maxLen <= 0 || from == to {
+		return nil
+	}
+	fwdDepth := (maxLen + 1) / 2
+	bwdDepth := maxLen / 2
+	fwd := expandRoutes(g, from, fwdDepth)
+	bwd := expandRoutes(g, to, bwdDepth)
+
+	seen := make(map[string]struct{})
+	var out []Path
+	emit := func(p Path) {
+		k := p.Key()
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	for meet, fRoutes := range fwd {
+		bRoutes, ok := bwd[meet]
+		if !ok {
+			continue
+		}
+		for _, f := range fRoutes {
+			for _, b := range bRoutes {
+				if len(f.steps)+len(b.steps) == 0 || len(f.steps)+len(b.steps) > maxLen {
+					continue
+				}
+				if routesIntersect(f, b, meet, from, to) {
+					continue
+				}
+				// b runs to→…→meet; reverse it to meet→…→to.
+				p := make(Path, 0, len(f.steps)+len(b.steps))
+				p = append(p, f.steps...)
+				p = append(p, b.steps.Reverse()...)
+				emit(p)
+			}
+		}
+	}
+	return out
+}
+
+// expandRoutes returns, for every vertex reachable within depth steps, all
+// simple routes from start to it (including the empty route to start).
+func expandRoutes(g *store.Graph, start store.ID, depth int) map[store.ID][]halfPath {
+	out := map[store.ID][]halfPath{
+		start: {{verts: []store.ID{start}}},
+	}
+	frontier := []halfPath{{verts: []store.ID{start}}}
+	for d := 0; d < depth; d++ {
+		var next []halfPath
+		for _, hp := range frontier {
+			v := hp.verts[len(hp.verts)-1]
+			g.UndirectedNeighbors(v, func(n store.Neighbor) bool {
+				if g.IsSchemaPred(n.Pred) {
+					return true
+				}
+				for _, u := range hp.verts {
+					if u == n.To {
+						return true // not simple
+					}
+				}
+				nhp := halfPath{
+					verts: append(append([]store.ID{}, hp.verts...), n.To),
+					steps: append(append(Path{}, hp.steps...), Step{Pred: n.Pred, Forward: n.Forward}),
+				}
+				out[n.To] = append(out[n.To], nhp)
+				next = append(next, nhp)
+				return true
+			})
+		}
+		frontier = next
+	}
+	return out
+}
+
+// routesIntersect reports whether the two half routes share an internal
+// vertex other than the meeting point (which would make the joined path
+// non-simple). It also rejects joins where one side passes through the
+// other side's endpoint.
+func routesIntersect(f, b halfPath, meet, from, to store.ID) bool {
+	inF := make(map[store.ID]bool, len(f.verts))
+	for _, v := range f.verts {
+		inF[v] = true
+	}
+	for _, v := range b.verts {
+		if v == meet {
+			continue
+		}
+		if inF[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// FollowPath returns every vertex reachable from v by walking the path
+// (respecting step directions), visiting only simple routes. It is used at
+// query time to evaluate predicate-path edges of the semantic query graph.
+func FollowPath(g *store.Graph, v store.ID, p Path) []store.ID {
+	type state struct {
+		verts []store.ID
+	}
+	cur := []state{{verts: []store.ID{v}}}
+	for _, s := range p {
+		var next []state
+		for _, st := range cur {
+			last := st.verts[len(st.verts)-1]
+			var neighbors []store.ID
+			if s.Forward {
+				for _, e := range g.Out(last) {
+					if e.Pred == s.Pred {
+						neighbors = append(neighbors, e.To)
+					}
+				}
+			} else {
+				for _, e := range g.In(last) {
+					if e.Pred == s.Pred {
+						neighbors = append(neighbors, e.To)
+					}
+				}
+			}
+		nb:
+			for _, u := range neighbors {
+				for _, w := range st.verts {
+					if w == u {
+						continue nb
+					}
+				}
+				next = append(next, state{verts: append(append([]store.ID{}, st.verts...), u)})
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	seen := make(map[store.ID]struct{})
+	var out []store.ID
+	for _, st := range cur {
+		u := st.verts[len(st.verts)-1]
+		if _, dup := seen[u]; !dup {
+			seen[u] = struct{}{}
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// PathConnects reports whether the path leads from u to w (in the recorded
+// direction) or from w to u (reversed) via a simple route — the
+// either-orientation edge test Definition 3 needs.
+func PathConnects(g *store.Graph, u, w store.ID, p Path) bool {
+	for _, dst := range FollowPath(g, u, p) {
+		if dst == w {
+			return true
+		}
+	}
+	for _, dst := range FollowPath(g, w, p) {
+		if dst == u {
+			return true
+		}
+	}
+	return false
+}

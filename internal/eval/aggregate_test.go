@@ -1,0 +1,119 @@
+package eval
+
+import (
+	"testing"
+
+	"gqa/internal/bench"
+	"gqa/internal/core"
+)
+
+// aggregationSystem builds a system with the future-work aggregation
+// extension enabled and superlatives registered.
+func aggregationSystem(t *testing.T) *core.System {
+	t.Helper()
+	g, err := bench.BuildKB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := bench.BuildDictionary(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem(g, d, core.Options{TopK: 10, EnableAggregation: true})
+	bench.RegisterSuperlatives(sys, g)
+	return sys
+}
+
+func TestAggregationCounting(t *testing.T) {
+	sys := aggregationSystem(t)
+	res, err := sys.Answer("How many films did Antonio Banderas star in?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aggregated || res.Count == nil || *res.Count != 3 {
+		t.Fatalf("count = %+v (failure %v)", res.Count, res.Failure)
+	}
+	res, err = sys.Answer("How many children did Margaret Thatcher have?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count == nil || *res.Count != 2 {
+		t.Fatalf("count = %+v (failure %v)", res.Count, res.Failure)
+	}
+}
+
+func TestAggregationSuperlative(t *testing.T) {
+	sys := aggregationSystem(t)
+	res, err := sys.Answer("Who is the youngest player in the Premier League?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aggregated || len(res.Answers) != 1 {
+		t.Fatalf("result = %+v (failure %v)", res.Answers, res.Failure)
+	}
+	if got := sys.Graph.LabelOf(res.Answers[0]); got != "Theo Walcott" {
+		t.Fatalf("youngest = %q", got)
+	}
+}
+
+func TestAggregationStillFailsUnregistered(t *testing.T) {
+	sys := aggregationSystem(t)
+	// "oldest company in Munich" — no founding dates in the KB: the base
+	// query answers companies but none has an ⟨age⟩-style value for
+	// "oldest" ranking... actually "oldest" ranks by age and no company
+	// has one, so the rewrite yields nothing and the aggregation failure
+	// is reported as before.
+	res, err := sys.Answer("Which is the oldest company in Munich?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure != core.FailureAggregation {
+		t.Fatalf("failure = %v answers %v", res.Failure, res.Answers)
+	}
+	// Unregistered superlative ("longest") also still fails.
+	res, err = sys.Answer("What is the longest river in Germany?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure != core.FailureAggregation {
+		t.Fatalf("failure = %v", res.Failure)
+	}
+}
+
+func TestAggregationDisabledByDefault(t *testing.T) {
+	ours, _, _, err := BuildSystems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ours.Answer("How many films did Antonio Banderas star in?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure != core.FailureAggregation || res.Count != nil {
+		t.Fatalf("default system should fail aggregation: %+v", res)
+	}
+}
+
+// TestAggregationExtensionImprovesWorkload: with the extension on, the
+// Table 10 aggregation bucket shrinks and Right grows — the quantified
+// value of the future-work feature.
+func TestAggregationExtensionImprovesWorkload(t *testing.T) {
+	base, _, _, err := BuildSystems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := aggregationSystem(t)
+	qs := bench.Workload()
+	sumBase := Summarize(RunOurs(base, qs))
+	sumExt := Summarize(RunOurs(ext, qs))
+	t.Logf("base right=%d, extension right=%d", sumBase.Right, sumExt.Right)
+	if sumExt.Right <= sumBase.Right {
+		t.Fatalf("extension did not improve: %d vs %d", sumExt.Right, sumBase.Right)
+	}
+	fbBase := FailureBreakdown(RunOurs(base, qs))
+	fbExt := FailureBreakdown(RunOurs(ext, qs))
+	if fbExt[core.FailureAggregation] >= fbBase[core.FailureAggregation] {
+		t.Fatalf("aggregation failures did not shrink: %d vs %d",
+			fbExt[core.FailureAggregation], fbBase[core.FailureAggregation])
+	}
+}

@@ -1,0 +1,64 @@
+package eval
+
+import (
+	"testing"
+
+	"gqa/internal/bench"
+	"gqa/internal/core"
+)
+
+func TestWorkloadEndToEnd(t *testing.T) {
+	ours, _, _, err := BuildSystems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := RunOurs(ours, bench.Workload())
+	sum := Summarize(results)
+	t.Logf("ours: %+v", sum)
+	for _, r := range results {
+		if r.Question.Answerable() && r.Outcome != OutcomeRight {
+			t.Logf("MISS %-4s [%s] %-60q outcome=%s failure=%s answers=%v",
+				r.Question.ID, r.Question.Category, r.Question.Text, r.Outcome, r.Failure, r.Answers)
+		}
+		if !r.Question.Answerable() && r.Outcome != OutcomeAbstained {
+			t.Logf("LEAK %-4s [%s] %-60q outcome=%s answers=%v",
+				r.Question.ID, r.Question.Category, r.Question.Text, r.Outcome, r.Answers)
+		}
+	}
+	// Reproduction target: every structurally-answerable question is
+	// answered exactly right; the failure strata (aggregation,
+	// linking-hard, …) fail as designed.
+	if sum.Right != 78 {
+		t.Errorf("Right = %d, want 78", sum.Right)
+	}
+	if sum.Partial != 0 {
+		t.Errorf("Partial = %d, want 0", sum.Partial)
+	}
+	if sum.F1 < 0.85 || sum.F1 >= 1.0 {
+		t.Errorf("F1 = %.3f, want in [0.85, 1.0) — gold-bearing failure strata must cost recall", sum.F1)
+	}
+}
+
+func TestWorkloadDeanna(t *testing.T) {
+	ours, base, _, err := BuildSystems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ours
+	results := RunDeanna(base, bench.Workload())
+	sum := Summarize(results)
+	t.Logf("deanna: %+v", sum)
+}
+
+func TestFailureBreakdownShape(t *testing.T) {
+	ours, _, _, err := BuildSystems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := RunOurs(ours, bench.Workload())
+	fb := FailureBreakdown(results)
+	t.Logf("failures: %v", fb)
+	if fb[core.FailureAggregation] == 0 {
+		t.Error("no aggregation failures recorded")
+	}
+}

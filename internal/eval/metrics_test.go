@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"testing"
+
+	"gqa/internal/bench"
+	"gqa/internal/rdf"
+)
+
+func q(gold ...string) bench.Question {
+	out := bench.Question{ID: "T", Text: "t?"}
+	for _, g := range gold {
+		out.Gold = append(out.Gold, rdf.Resource(g))
+	}
+	return out
+}
+
+func TestScoreRight(t *testing.T) {
+	qr := QuestionResult{Question: q("A", "B"), Answers: []rdf.Term{rdf.Resource("B"), rdf.Resource("A")}}
+	score(&qr)
+	if qr.Outcome != OutcomeRight || qr.Precision != 1 || qr.Recall != 1 || qr.F1 != 1 {
+		t.Fatalf("%+v", qr)
+	}
+}
+
+func TestScorePartial(t *testing.T) {
+	qr := QuestionResult{Question: q("A", "B"), Answers: []rdf.Term{rdf.Resource("A"), rdf.Resource("C")}}
+	score(&qr)
+	if qr.Outcome != OutcomePartial {
+		t.Fatalf("%+v", qr)
+	}
+	if qr.Precision != 0.5 || qr.Recall != 0.5 {
+		t.Fatalf("P=%f R=%f", qr.Precision, qr.Recall)
+	}
+}
+
+func TestScoreWrongAndFailed(t *testing.T) {
+	qr := QuestionResult{Question: q("A"), Answers: []rdf.Term{rdf.Resource("X")}}
+	score(&qr)
+	if qr.Outcome != OutcomeWrong || qr.F1 != 0 {
+		t.Fatalf("%+v", qr)
+	}
+	qr = QuestionResult{Question: q("A")}
+	score(&qr)
+	if qr.Outcome != OutcomeFailed {
+		t.Fatalf("%+v", qr)
+	}
+}
+
+func TestScoreBoolean(t *testing.T) {
+	b := true
+	quest := bench.Question{ID: "B", Text: "b?", Bool: &b}
+	got := true
+	qr := QuestionResult{Question: quest, Boolean: &got}
+	score(&qr)
+	if qr.Outcome != OutcomeRight {
+		t.Fatalf("%+v", qr)
+	}
+	wrong := false
+	qr = QuestionResult{Question: quest, Boolean: &wrong}
+	score(&qr)
+	if qr.Outcome != OutcomeWrong {
+		t.Fatalf("%+v", qr)
+	}
+	qr = QuestionResult{Question: quest}
+	score(&qr)
+	if qr.Outcome != OutcomeFailed {
+		t.Fatalf("%+v", qr)
+	}
+}
+
+func TestScoreAbstained(t *testing.T) {
+	quest := bench.Question{ID: "U", Text: "u?"} // no gold: unanswerable
+	qr := QuestionResult{Question: quest}
+	score(&qr)
+	if qr.Outcome != OutcomeAbstained {
+		t.Fatalf("%+v", qr)
+	}
+	qr = QuestionResult{Question: quest, Answers: []rdf.Term{rdf.Resource("X")}}
+	score(&qr)
+	if qr.Outcome != OutcomeWrong {
+		t.Fatalf("leaked answer should be wrong: %+v", qr)
+	}
+}
+
+func TestTermsMatchNumeric(t *testing.T) {
+	if !termsMatch(rdf.NewTypedLiteral("3", rdf.XSDDouble), rdf.NewTypedLiteral("3.0", rdf.XSDInteger)) {
+		t.Fatal("numeric literals should match by value")
+	}
+	if termsMatch(rdf.NewLiteral("abc"), rdf.NewLiteral("abd")) {
+		t.Fatal("different strings matched")
+	}
+	if !termsMatch(rdf.NewLiteral("abc"), rdf.NewLiteral("abc")) {
+		t.Fatal("equal strings should match")
+	}
+	if termsMatch(rdf.Resource("A"), rdf.NewLiteral("A")) {
+		t.Fatal("IRI and literal matched")
+	}
+}
+
+func TestSummarizeCounts(t *testing.T) {
+	results := []QuestionResult{
+		{Question: q("A"), Outcome: OutcomeRight, Precision: 1, Recall: 1, F1: 1, Processed: true},
+		{Question: q("A"), Outcome: OutcomePartial, Precision: 0.5, Recall: 0.5, F1: 0.5, Processed: true},
+		{Question: bench.Question{}, Outcome: OutcomeAbstained},
+	}
+	s := Summarize(results)
+	if s.Questions != 3 || s.Right != 1 || s.Partial != 1 || s.Processed != 2 || s.Answerable != 2 {
+		t.Fatalf("%+v", s)
+	}
+	if s.F1 != 0.75 {
+		t.Fatalf("F1 = %f", s.F1)
+	}
+}
+
+func TestCorrectlyAnsweredSorted(t *testing.T) {
+	results := []QuestionResult{
+		{Question: bench.Question{ID: "Z"}, Outcome: OutcomeRight},
+		{Question: bench.Question{ID: "A"}, Outcome: OutcomeRight},
+		{Question: bench.Question{ID: "M"}, Outcome: OutcomeWrong},
+	}
+	got := CorrectlyAnswered(results)
+	if len(got) != 2 || got[0].Question.ID != "A" || got[1].Question.ID != "Z" {
+		t.Fatalf("%+v", got)
+	}
+}

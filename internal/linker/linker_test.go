@@ -1,0 +1,226 @@
+package linker
+
+import (
+	"testing"
+
+	"gqa/internal/rdf"
+	"gqa/internal/store"
+)
+
+// phillyGraph reproduces the paper's ambiguity example: three vertices all
+// matching the mention "Philadelphia", with the city the best-connected.
+func phillyGraph(t testing.TB) (*store.Graph, map[string]store.ID) {
+	t.Helper()
+	g := store.New()
+	ids := map[string]store.ID{}
+	add := func(tr rdf.Triple) {
+		if err := g.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(rdf.T(rdf.Resource("Philadelphia"), rdf.Ontology("country"), rdf.Resource("United_States")))
+	add(rdf.T(rdf.Resource("Philadelphia"), rdf.Ontology("state"), rdf.Resource("Pennsylvania")))
+	add(rdf.T(rdf.Resource("Philadelphia"), rdf.NewIRI(rdf.RDFType), rdf.Ontology("City")))
+	add(rdf.T(rdf.Resource("Philadelphia_(film)"), rdf.Ontology("starring"), rdf.Resource("Antonio_Banderas")))
+	add(rdf.T(rdf.Resource("Philadelphia_(film)"), rdf.NewIRI(rdf.RDFType), rdf.Ontology("Film")))
+	add(rdf.T(rdf.Resource("Philadelphia_76ers"), rdf.NewIRI(rdf.RDFType), rdf.Ontology("BasketballTeam")))
+	add(rdf.T(rdf.Resource("Antonio_Banderas"), rdf.NewIRI(rdf.RDFType), rdf.Ontology("Actor")))
+	add(rdf.T(rdf.Resource("An_Actor_Prepares"), rdf.NewIRI(rdf.RDFType), rdf.Ontology("Book")))
+	add(rdf.T(rdf.Ontology("Actor"), rdf.NewIRI(rdf.RDFSLabel), rdf.NewLiteral("actor")))
+	add(rdf.T(rdf.Ontology("Film"), rdf.NewIRI(rdf.RDFSLabel), rdf.NewLiteral("film")))
+	add(rdf.T(rdf.Ontology("Film"), rdf.NewIRI(rdf.RDFSLabel), rdf.NewLiteral("movie")))
+	for _, name := range []string{"Philadelphia", "Philadelphia_(film)", "Philadelphia_76ers",
+		"Antonio_Banderas", "An_Actor_Prepares"} {
+		id, ok := g.Lookup(rdf.Resource(name))
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		ids[name] = id
+	}
+	for _, name := range []string{"Actor", "Film", "City", "Book", "BasketballTeam"} {
+		id, ok := g.Lookup(rdf.Ontology(name))
+		if !ok {
+			t.Fatalf("missing class %s", name)
+		}
+		ids[name] = id
+	}
+	return g, ids
+}
+
+func find(cands []Candidate, id store.ID) (Candidate, bool) {
+	for _, c := range cands {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Candidate{}, false
+}
+
+func TestLinkAmbiguousMention(t *testing.T) {
+	g, ids := phillyGraph(t)
+	l := New(g, Options{})
+	cands := l.Link("Philadelphia", 10)
+	if len(cands) != 3 {
+		t.Fatalf("got %d candidates, want 3: %v", len(cands), cands)
+	}
+	// All three Philadelphia vertices present; the bare-name city ranks
+	// first (exact label match + highest degree).
+	if cands[0].ID != ids["Philadelphia"] {
+		t.Errorf("top candidate is %v, want the city", g.Term(cands[0].ID))
+	}
+	for _, name := range []string{"Philadelphia", "Philadelphia_(film)", "Philadelphia_76ers"} {
+		c, ok := find(cands, ids[name])
+		if !ok {
+			t.Errorf("missing candidate %s", name)
+			continue
+		}
+		if c.Score <= 0 || c.Score > 1 {
+			t.Errorf("%s score %f out of range", name, c.Score)
+		}
+		if c.IsClass {
+			t.Errorf("%s flagged as class", name)
+		}
+	}
+}
+
+func TestLinkClassAndEntity(t *testing.T) {
+	g, ids := phillyGraph(t)
+	l := New(g, Options{})
+	cands := l.Link("actor", 10)
+	// Both the class ⟨Actor⟩ and the entity ⟨An_Actor_Prepares⟩ must
+	// surface, the class first (§4.2.1 example).
+	cls, ok := find(cands, ids["Actor"])
+	if !ok || !cls.IsClass {
+		t.Fatalf("class Actor missing or unflagged: %v", cands)
+	}
+	book, ok := find(cands, ids["An_Actor_Prepares"])
+	if !ok || book.IsClass {
+		t.Fatalf("entity An_Actor_Prepares missing or misflagged: %v", cands)
+	}
+	if cls.Score <= book.Score {
+		t.Errorf("class should outrank the book: %f vs %f", cls.Score, book.Score)
+	}
+}
+
+func TestLinkViaAlternateLabel(t *testing.T) {
+	g, ids := phillyGraph(t)
+	l := New(g, Options{})
+	// "movies" reaches class Film through the alias label and noun lemma.
+	cands := l.Link("movies", 10)
+	if _, ok := find(cands, ids["Film"]); !ok {
+		t.Fatalf("movies did not link to Film: %v", cands)
+	}
+}
+
+func TestLinkMultiwordMention(t *testing.T) {
+	g, ids := phillyGraph(t)
+	l := New(g, Options{})
+	cands := l.Link("Antonio Banderas", 5)
+	if len(cands) == 0 || cands[0].ID != ids["Antonio_Banderas"] {
+		t.Fatalf("Antonio Banderas: %v", cands)
+	}
+	if cands[0].Score < 0.8 {
+		t.Errorf("exact match score too low: %f", cands[0].Score)
+	}
+}
+
+func TestLinkLimitAndOrdering(t *testing.T) {
+	g, _ := phillyGraph(t)
+	l := New(g, Options{})
+	cands := l.Link("Philadelphia", 2)
+	if len(cands) != 2 {
+		t.Fatalf("limit ignored: %d", len(cands))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Score > cands[i-1].Score {
+			t.Fatal("candidates not sorted by score")
+		}
+	}
+}
+
+func TestLinkMisses(t *testing.T) {
+	g, _ := phillyGraph(t)
+	l := New(g, Options{})
+	if got := l.Link("Zanzibar", 5); len(got) != 0 {
+		t.Fatalf("unexpected candidates: %v", got)
+	}
+	if got := l.Link("", 5); len(got) != 0 {
+		t.Fatalf("empty mention: %v", got)
+	}
+	if got := l.Link("the of a", 5); len(got) != 0 {
+		t.Fatalf("stopword mention: %v", got)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{[]string{"philadelphia"}, []string{"philadelphia"}, 1.0},
+		{[]string{"philadelphia"}, []string{"philadelphia", "film"}, 0.5},
+		{[]string{"queen", "elizabeth", "ii"}, []string{"elizabeth", "ii"}, 2.0 / 3.0},
+		{[]string{"x"}, []string{"y"}, 0},
+	}
+	for _, c := range cases {
+		if got := similarity(c.a, c.b); got != c.want {
+			t.Errorf("similarity(%v, %v) = %f, want %f", c.a, c.b, got, c.want)
+		}
+	}
+	// Symmetry.
+	if similarity([]string{"a", "b"}, []string{"b"}) != similarity([]string{"b"}, []string{"a", "b"}) {
+		t.Error("similarity not symmetric")
+	}
+}
+
+func TestLinkClassContainmentRule(t *testing.T) {
+	g, ids := phillyGraph(t)
+	l := New(g, Options{})
+	// "Gotham City" mentions an instance, not the class ⟨City⟩.
+	for _, c := range l.Link("Gotham City", 10) {
+		if c.IsClass {
+			t.Fatalf("class leaked for instance mention: %v", g.Term(c.ID))
+		}
+	}
+	// A bare class mention still links the class.
+	cands := l.Link("city", 10)
+	if _, ok := find(cands, ids["City"]); !ok {
+		t.Fatalf("bare class mention failed: %v", cands)
+	}
+}
+
+func TestLinkLiteralVertices(t *testing.T) {
+	g := store.New()
+	if err := g.AddAll([]rdf.Triple{
+		rdf.T(rdf.Resource("Al_Capone"), rdf.Ontology("nickname"), rdf.NewLiteral("Scarface")),
+		rdf.T(rdf.Resource("Al_Capone"), rdf.NewIRI(rdf.RDFSLabel), rdf.NewLiteral("Al Capone")),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l := New(g, Options{})
+	cands := l.Link("Scarface", 5)
+	if len(cands) != 1 {
+		t.Fatalf("cands = %v", cands)
+	}
+	if term := g.Term(cands[0].ID); !term.IsLiteral() || term.Value() != "Scarface" {
+		t.Fatalf("linked %v", term)
+	}
+	// Pure rdfs:label strings are NOT linkable vertices (their owner is).
+	for _, c := range l.Link("Al Capone", 5) {
+		if g.Term(c.ID).IsLiteral() {
+			t.Fatalf("label literal leaked: %v", g.Term(c.ID))
+		}
+	}
+}
+
+func TestLinkScoresBounded(t *testing.T) {
+	g, _ := phillyGraph(t)
+	l := New(g, Options{})
+	for _, mention := range []string{"Philadelphia", "actor", "Antonio Banderas", "film"} {
+		for _, c := range l.Link(mention, 0) {
+			if c.Score <= 0 || c.Score > 1 {
+				t.Fatalf("mention %q: score %f out of range", mention, c.Score)
+			}
+		}
+	}
+}

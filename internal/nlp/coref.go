@@ -1,0 +1,29 @@
+package nlp
+
+// ResolveCoref performs the coreference resolution step of §4.1.3: relative
+// pronouns ("that", "who", "which") inside a relative clause refer to the
+// noun phrase the clause modifies, so the two corresponding arguments must
+// share one vertex in the semantic query graph ("actor" and "that" in the
+// running example).
+//
+// The returned map sends the token index of each resolvable pronoun to the
+// token index of its antecedent.
+func ResolveCoref(y *DepTree) map[int]int {
+	out := make(map[int]int)
+	for i := range y.Nodes {
+		n := &y.Nodes[i]
+		if n.Rel != RelRcmod || n.Head < 0 {
+			continue
+		}
+		antecedent := n.Head
+		// Every wh-pronoun inside the clause subtree corefers with the
+		// antecedent.
+		for _, j := range y.Subtree(i) {
+			t := y.Nodes[j]
+			if (t.Tag == "WDT" || t.Tag == "WP") && j != antecedent {
+				out[j] = antecedent
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package nlp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Typed dependency labels, following the Stanford dependencies manual [8]
+// as cited by the paper. Only the labels the Q/A pipeline consumes are
+// enumerated; the parser never invents others.
+const (
+	RelRoot      = "root"
+	RelNsubj     = "nsubj"
+	RelNsubjPass = "nsubjpass"
+	RelDobj      = "dobj"
+	RelIobj      = "iobj"
+	RelPobj      = "pobj"
+	RelPrep      = "prep"
+	RelAux       = "aux"
+	RelAuxPass   = "auxpass"
+	RelCop       = "cop"
+	RelDet       = "det"
+	RelAmod      = "amod"
+	RelAdvmod    = "advmod"
+	RelNn        = "nn"
+	RelRcmod     = "rcmod"
+	RelPoss      = "poss"
+	RelCc        = "cc"
+	RelConj      = "conj"
+	RelAttr      = "attr"
+	RelDep       = "dep"
+)
+
+// subjectRels are the subject-like grammatical relations of §4.1.2 used to
+// recognize arg1.
+var subjectRels = map[string]bool{
+	"subj": true, RelNsubj: true, RelNsubjPass: true,
+	"csubj": true, "csubjpass": true, "xsubj": true, RelPoss: true,
+}
+
+// objectRels are the object-like grammatical relations of §4.1.2 used to
+// recognize arg2.
+var objectRels = map[string]bool{
+	"obj": true, RelPobj: true, RelDobj: true, RelIobj: true,
+}
+
+// IsSubjectRel reports whether rel is subject-like per §4.1.2.
+func IsSubjectRel(rel string) bool { return subjectRels[rel] }
+
+// IsObjectRel reports whether rel is object-like per §4.1.2.
+func IsObjectRel(rel string) bool { return objectRels[rel] }
+
+// Node is one vertex of a dependency tree: a token plus its grammatical
+// attachment.
+type Node struct {
+	Token
+	Head     int    // index of the head token; -1 for the root
+	Rel      string // typed dependency to the head
+	Children []int  // indices of dependents, ascending
+}
+
+// DepTree is the dependency tree Y of a question (§4.1). Nodes are indexed
+// by token position; exactly one node has Head == -1.
+type DepTree struct {
+	Nodes []Node
+	Root  int
+}
+
+// Size returns the number of nodes |Y|.
+func (y *DepTree) Size() int { return len(y.Nodes) }
+
+// Node returns the node at token index i.
+func (y *DepTree) Node(i int) *Node { return &y.Nodes[i] }
+
+// ChildrenOf returns the dependent indices of node i.
+func (y *DepTree) ChildrenOf(i int) []int { return y.Nodes[i].Children }
+
+// Subtree returns all node indices in the subtree rooted at i (including
+// i), ascending.
+func (y *DepTree) Subtree(i int) []int {
+	var out []int
+	seen := make(map[int]bool) // guards against malformed (cyclic) input
+	var walk func(int)
+	walk = func(n int) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		out = append(out, n)
+		for _, c := range y.Nodes[n].Children {
+			walk(c)
+		}
+	}
+	walk(i)
+	sort.Ints(out)
+	return out
+}
+
+// SubtreeText returns the surface text of the subtree rooted at i in
+// sentence order. Used to render arguments ("the former Dutch queen").
+func (y *DepTree) SubtreeText(i int) string {
+	idx := y.Subtree(i)
+	words := make([]string, len(idx))
+	for k, j := range idx {
+		words[k] = y.Nodes[j].Text
+	}
+	return strings.Join(words, " ")
+}
+
+// Validate checks tree well-formedness: exactly one root, consistent
+// head/child links, acyclicity, and every node reachable from the root.
+func (y *DepTree) Validate() error {
+	if len(y.Nodes) == 0 {
+		return fmt.Errorf("deptree: empty tree")
+	}
+	roots := 0
+	for i, n := range y.Nodes {
+		if n.Index != i {
+			return fmt.Errorf("deptree: node %d has Index %d", i, n.Index)
+		}
+		if n.Head == -1 {
+			roots++
+			if i != y.Root {
+				return fmt.Errorf("deptree: node %d is headless but Root is %d", i, y.Root)
+			}
+			continue
+		}
+		if n.Head < 0 || n.Head >= len(y.Nodes) {
+			return fmt.Errorf("deptree: node %d has out-of-range head %d", i, n.Head)
+		}
+		if n.Head == i {
+			return fmt.Errorf("deptree: node %d is its own head", i)
+		}
+		found := false
+		for _, c := range y.Nodes[n.Head].Children {
+			if c == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("deptree: node %d missing from children of head %d", i, n.Head)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("deptree: %d roots, want 1", roots)
+	}
+	if got := len(y.Subtree(y.Root)); got != len(y.Nodes) {
+		return fmt.Errorf("deptree: only %d of %d nodes reachable from root", got, len(y.Nodes))
+	}
+	return nil
+}
+
+// String renders the tree one dependency per line, in the conventional
+// rel(head-h, dependent-d) notation.
+func (y *DepTree) String() string {
+	var b strings.Builder
+	for i, n := range y.Nodes {
+		if n.Head == -1 {
+			fmt.Fprintf(&b, "root(ROOT-0, %s-%d)\n", n.Text, i+1)
+			continue
+		}
+		fmt.Fprintf(&b, "%s(%s-%d, %s-%d)\n", n.Rel, y.Nodes[n.Head].Text, n.Head+1, n.Text, i+1)
+	}
+	return b.String()
+}
+
+// attach links child to head with the given relation, maintaining the
+// Children lists sorted.
+func (y *DepTree) attach(child, head int, rel string) {
+	n := &y.Nodes[child]
+	n.Head = head
+	n.Rel = rel
+	h := &y.Nodes[head]
+	pos := sort.SearchInts(h.Children, child)
+	h.Children = append(h.Children, 0)
+	copy(h.Children[pos+1:], h.Children[pos:])
+	h.Children[pos] = child
+}

@@ -1,0 +1,126 @@
+package nlp
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildTree constructs a tree by hand for structural tests.
+func buildTree(words []string, heads []int, rels []string) *DepTree {
+	y := &DepTree{Nodes: make([]Node, len(words))}
+	for i, w := range words {
+		y.Nodes[i] = Node{
+			Token: Token{Index: i, Text: w, Lower: strings.ToLower(w)},
+			Head:  -1,
+		}
+	}
+	for i, h := range heads {
+		if h == -1 {
+			y.Root = i
+			y.Nodes[i].Rel = RelRoot
+			continue
+		}
+	}
+	for i, h := range heads {
+		if h >= 0 {
+			y.attach(i, h, rels[i])
+		}
+	}
+	return y
+}
+
+func TestValidateAcceptsGoodTree(t *testing.T) {
+	y := buildTree(
+		[]string{"Who", "created", "Minecraft"},
+		[]int{1, -1, 1},
+		[]string{RelNsubj, "", RelDobj},
+	)
+	if err := y.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadTrees(t *testing.T) {
+	// Two roots.
+	y := buildTree([]string{"a", "b"}, []int{-1, -1}, []string{"", ""})
+	if err := y.Validate(); err == nil {
+		t.Fatal("two-root tree accepted")
+	}
+	// Self-loop.
+	y = buildTree([]string{"a", "b"}, []int{-1, 1}, []string{"", RelDep})
+	y.Nodes[1].Head = 1
+	if err := y.Validate(); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	// Empty.
+	empty := &DepTree{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+	// Cycle disconnected from root.
+	y = buildTree([]string{"a", "b", "c"}, []int{-1, 2, 1}, []string{"", RelDep, RelDep})
+	if err := y.Validate(); err == nil {
+		t.Fatal("cyclic tree accepted")
+	}
+}
+
+func TestSubtreeOrderAndContent(t *testing.T) {
+	// created(Who, Minecraft) — subtree of root is everything.
+	y := buildTree(
+		[]string{"Who", "created", "the", "game"},
+		[]int{1, -1, 3, 1},
+		[]string{RelNsubj, "", RelDet, RelDobj},
+	)
+	got := y.Subtree(1)
+	if len(got) != 4 {
+		t.Fatalf("root subtree size %d", len(got))
+	}
+	got = y.Subtree(3)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("NP subtree = %v", got)
+	}
+	if y.SubtreeText(3) != "the game" {
+		t.Fatalf("SubtreeText = %q", y.SubtreeText(3))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	y := buildTree(
+		[]string{"Who", "created", "Minecraft"},
+		[]int{1, -1, 1},
+		[]string{RelNsubj, "", RelDobj},
+	)
+	s := y.String()
+	for _, want := range []string{"root(ROOT-0, created-2)", "nsubj(created-2, Who-1)", "dobj(created-2, Minecraft-3)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSubjectObjectRelClassifiers(t *testing.T) {
+	for _, r := range []string{RelNsubj, RelNsubjPass, "csubj", "xsubj", RelPoss} {
+		if !IsSubjectRel(r) {
+			t.Errorf("%s should be subject-like", r)
+		}
+	}
+	for _, r := range []string{RelDobj, RelPobj, RelIobj, "obj"} {
+		if !IsObjectRel(r) {
+			t.Errorf("%s should be object-like", r)
+		}
+	}
+	if IsSubjectRel(RelDet) || IsObjectRel(RelPrep) {
+		t.Error("det/prep must not be argument relations")
+	}
+}
+
+func TestResolveCorefNoClauses(t *testing.T) {
+	y := buildTree(
+		[]string{"Who", "created", "Minecraft"},
+		[]int{1, -1, 1},
+		[]string{RelNsubj, "", RelDobj},
+	)
+	if got := ResolveCoref(y); len(got) != 0 {
+		t.Fatalf("unexpected coref: %v", got)
+	}
+}

@@ -1,0 +1,131 @@
+package nlp
+
+import "strings"
+
+// Lemma returns the dictionary form of a lowercase word given its POS tag.
+// Verbs map to their base form, plural nouns to singular; everything else
+// is returned unchanged. The paraphrase dictionary and Algorithm 2 match on
+// lemmas so that "was married to" finds the relation phrase "be married
+// to".
+func Lemma(lower, tag string) string {
+	if l, ok := irregularVerbLemmas[lower]; ok && (IsVerbTag(tag) || tag == "") {
+		return l
+	}
+	switch {
+	case IsVerbTag(tag):
+		return verbLemma(lower)
+	case tag == "NNS" || tag == "NNPS":
+		return nounLemma(lower)
+	case tag == "":
+		// Untagged (dictionary phrase words): try irregulars of both
+		// classes, then verb morphology — relation phrases are stored as
+		// base-form verbs.
+		if l, ok := irregularVerbLemmas[lower]; ok {
+			return l
+		}
+		if l, ok := irregularNounLemmas[lower]; ok {
+			return l
+		}
+		return verbLemma(lower)
+	}
+	return lower
+}
+
+func verbLemma(w string) string {
+	if l, ok := irregularVerbLemmas[w]; ok {
+		return l
+	}
+	n := len(w)
+	switch {
+	case strings.HasSuffix(w, "ies") && n > 4:
+		return w[:n-3] + "y" // studies → study
+	case strings.HasSuffix(w, "sses") || strings.HasSuffix(w, "shes") || strings.HasSuffix(w, "ches") || strings.HasSuffix(w, "xes"):
+		return w[:n-2] // passes → pass, watches → watch
+	case strings.HasSuffix(w, "oes") && n > 4:
+		return w[:n-2] // goes → go
+	case strings.HasSuffix(w, "ied") && n > 4:
+		return w[:n-3] + "y" // married → marry (also in irregulars)
+	case strings.HasSuffix(w, "eed"):
+		return w // succeed stays (but "succeeded" handled below)
+	case strings.HasSuffix(w, "ed") && n > 3:
+		stem := w[:n-2]
+		return undouble(restoreE(stem))
+	case strings.HasSuffix(w, "ing") && n > 4:
+		stem := w[:n-3]
+		return undouble(restoreE(stem))
+	case strings.HasSuffix(w, "s") && n > 3 && !strings.HasSuffix(w, "ss") && !strings.HasSuffix(w, "us"):
+		return w[:n-1] // plays → play
+	}
+	return w
+}
+
+// restoreE adds back a dropped final 'e' for stems like "creat" (created)
+// and "produc" (produced). The heuristic: consonant + {c,s,v,z,g,u} or a
+// stem ending in a consonant cluster that requires 'e'.
+func restoreE(stem string) string {
+	if stem == "" {
+		return stem
+	}
+	switch {
+	case strings.HasSuffix(stem, "at"), // create, locate, operate, graduate
+		strings.HasSuffix(stem, "uc"),                  // produce
+		strings.HasSuffix(stem, "ac"),                  // place? (replac)
+		strings.HasSuffix(stem, "os"),                  // compose
+		strings.HasSuffix(stem, "iv"),                  // live? but "lived" is in irregulars
+		strings.HasSuffix(stem, "rv"),                  // serve
+		strings.HasSuffix(stem, "ag"),                  // manage
+		strings.HasSuffix(stem, "ur"),                  // measure? (measur)
+		strings.HasSuffix(stem, "in") && len(stem) > 3, // combine? (combin)
+		strings.HasSuffix(stem, "am"):                  // name? (nam) — too short, guarded below
+		if len(stem) >= 4 {
+			return stem + "e"
+		}
+	}
+	return stem
+}
+
+// undouble removes a doubled final consonant left by -ed/-ing suffixation
+// (starred → starr → star).
+func undouble(stem string) string {
+	n := len(stem)
+	if n >= 3 && stem[n-1] == stem[n-2] && isConsonant(stem[n-1]) && stem[n-1] != 's' && stem[n-1] != 'l' {
+		return stem[:n-1]
+	}
+	return stem
+}
+
+func isConsonant(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	}
+	return c >= 'a' && c <= 'z'
+}
+
+func nounLemma(w string) string {
+	if l, ok := irregularNounLemmas[w]; ok {
+		return l
+	}
+	n := len(w)
+	switch {
+	case strings.HasSuffix(w, "ies") && n > 4:
+		return w[:n-3] + "y"
+	case strings.HasSuffix(w, "ses") || strings.HasSuffix(w, "xes") || strings.HasSuffix(w, "zes") || strings.HasSuffix(w, "ches") || strings.HasSuffix(w, "shes"):
+		return w[:n-2]
+	case strings.HasSuffix(w, "s") && n > 3 && !strings.HasSuffix(w, "ss") && !strings.HasSuffix(w, "us") && !strings.HasSuffix(w, "is"):
+		return w[:n-1]
+	}
+	return w
+}
+
+// LemmatizePhrase lemmatizes every word of a space-separated relation
+// phrase ("was married to" → "be marry to"). Dictionary keys and question
+// words meet in this normalized space.
+func LemmatizePhrase(phrase string) []string {
+	words := strings.Fields(strings.ToLower(phrase))
+	out := make([]string, len(words))
+	for i, w := range words {
+		out[i] = Lemma(w, "")
+	}
+	return out
+}

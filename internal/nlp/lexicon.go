@@ -1,0 +1,124 @@
+package nlp
+
+// The tagging lexicon: closed-class words, frequent verbs, and the
+// irregular morphology needed to lemmatize questions. It is intentionally
+// compact — the open classes are handled by the morphological guesser in
+// tagger.go — but the closed classes are complete enough for the QALD-style
+// interrogatives the benchmarks use.
+
+// wordTags maps a lowercase word to its preferred tag when tagging
+// questions. Ambiguous words are resolved contextually by the tagger.
+var wordTags = map[string]string{
+	// determiners
+	"the": "DT", "a": "DT", "an": "DT", "all": "DT", "every": "DT",
+	"some": "DT", "any": "DT", "no": "DT", "this": "DT", "that": "DT",
+	"these": "DT", "those": "DT", "each": "DT", "both": "DT",
+
+	// wh-words
+	"who": "WP", "whom": "WP", "what": "WP", "whose": "WP$",
+	"which": "WDT", "where": "WRB", "when": "WRB", "why": "WRB", "how": "WRB",
+
+	// pronouns
+	"i": "PRP", "you": "PRP", "he": "PRP", "she": "PRP", "it": "PRP",
+	"we": "PRP", "they": "PRP", "me": "PRP", "him": "PRP", "her": "PRP",
+	"us": "PRP", "them": "PRP",
+	"my": "PRP$", "your": "PRP$", "his": "PRP$", "its": "PRP$",
+	"our": "PRP$", "their": "PRP$",
+
+	// prepositions / subordinators
+	"of": "IN", "in": "IN", "on": "IN", "at": "IN", "by": "IN",
+	"with": "IN", "from": "IN", "through": "IN", "for": "IN",
+	"about": "IN", "into": "IN", "after": "IN", "before": "IN",
+	"between": "IN", "during": "IN", "under": "IN", "over": "IN",
+	"as": "IN", "near": "IN",
+
+	// particles / misc
+	"to": "TO", "not": "RB", "also": "RB", "currently": "RB",
+	"and": "CC", "or": "CC", "but": "CC",
+	"there": "EX",
+	"many":  "JJ", "much": "JJ", "most": "JJS", "more": "JJR",
+	"first": "JJ", "last": "JJ", "highest": "JJS", "largest": "JJS",
+	"youngest": "JJS", "oldest": "JJS", "tallest": "JJS", "longest": "JJS",
+	"biggest": "JJS", "smallest": "JJS", "latest": "JJS",
+	"high": "JJ", "tall": "JJ", "long": "JJ", "big": "JJ", "old": "JJ",
+	"famous": "JJ", "former": "JJ", "official": "JJ", "national": "JJ",
+
+	// auxiliaries and copulas
+	"born": "VBN", "located": "VBN", "buried": "VBN", "married": "VBN",
+	"called": "VBN", "connected": "VBN", "operated": "VBN", "produced": "VBN",
+	"directed": "VBN", "published": "VBN", "written": "VBN", "created": "VBN",
+	"founded": "VBN", "owned": "VBN", "developed": "VBN", "crossed": "VBN",
+	"is": "VBZ", "are": "VBP", "was": "VBD", "were": "VBD",
+	"am": "VBP", "be": "VB", "been": "VBN", "being": "VBG",
+	"do": "VBP", "does": "VBZ", "did": "VBD", "done": "VBN",
+	"have": "VBP", "has": "VBZ", "had": "VBD",
+	"will": "MD", "would": "MD", "can": "MD", "could": "MD",
+	"may": "MD", "might": "MD", "shall": "MD", "should": "MD", "must": "MD",
+
+	// frequent question verbs (base forms; inflections are guessed)
+	"give": "VB", "list": "VB", "show": "VB", "name": "VB", "tell": "VB",
+	"play": "VB", "star": "VB", "act": "VB", "marry": "VB", "bear": "VB",
+	"die": "VB", "live": "VB", "work": "VB", "write": "VB", "create": "VB",
+	"found": "VBD", "develop": "VB", "produce": "VB", "direct": "VB",
+	"flow": "VB", "connect": "VB", "locate": "VB", "call": "VB",
+	"publish": "VB", "own": "VB", "lead": "VB", "win": "VB", "make": "VB",
+	"come": "VB", "belong": "VB", "border": "VB", "cross": "VB",
+	"graduate": "VB", "study": "VB", "invent": "VB", "design": "VB",
+	"compose": "VB", "paint": "VB", "discover": "VB", "run": "VB",
+	"operate": "VB", "bury": "VB", "succeed": "VB", "govern": "VB",
+}
+
+// irregularVerbLemmas maps inflected forms to their base form.
+var irregularVerbLemmas = map[string]string{
+	"is": "be", "are": "be", "was": "be", "were": "be", "am": "be",
+	"been": "be", "being": "be",
+	"does": "do", "did": "do", "done": "do", "doing": "do",
+	"has": "have", "had": "have", "having": "have",
+	"born": "bear", "bore": "bear",
+	"wrote": "write", "written": "write",
+	"made": "make", "led": "lead", "won": "win", "ran": "run",
+	"came": "come", "went": "go", "gone": "go", "got": "get",
+	"gave": "give", "given": "give", "took": "take", "taken": "take",
+	"found": "find", "founded": "found", // "founded" is regular past of "found"
+	"said": "say", "told": "tell", "flew": "fly", "flown": "fly",
+	"grew": "grow", "grown": "grow", "met": "meet", "held": "hold",
+	"left": "leave", "built": "build", "spoke": "speak", "spoken": "speak",
+	"sang": "sing", "sung": "sing", "died": "die", "lay": "lie",
+	"fed": "feed", "sold": "sell", "bought": "buy", "taught": "teach",
+	"buried": "bury", "married": "marry", "studied": "study",
+	"lived": "live", "starred": "star", "preferred": "prefer",
+	"succeeded": "succeed", "named": "name", "goes": "go",
+	"moved": "move", "ruled": "rule", "used": "use", "based": "base",
+}
+
+// irregularNounLemmas maps irregular plurals to their singular.
+var irregularNounLemmas = map[string]string{
+	"people": "person", "children": "child", "men": "man", "women": "woman",
+	"countries": "country", "cities": "city", "companies": "company",
+	"parties": "party", "universities": "university", "movies": "movie",
+	"feet": "foot", "teeth": "tooth", "mice": "mouse",
+	"wives": "wife", "lives": "life",
+}
+
+// lightWords are the words Rule 1 of §4.1.2 may absorb when extending a
+// relation-phrase embedding: prepositions, particles, auxiliaries and
+// determiners that carry no argument content.
+var lightWords = map[string]bool{
+	"of": true, "in": true, "on": true, "at": true, "by": true, "to": true,
+	"with": true, "from": true, "for": true, "through": true, "into": true,
+	"a": true, "an": true, "the": true,
+	"is": true, "are": true, "was": true, "were": true, "be": true,
+	"been": true, "am": true, "do": true, "does": true, "did": true,
+	"have": true, "has": true, "had": true,
+}
+
+// IsLightWord reports whether w (lowercase) is a light word per Rule 1.
+func IsLightWord(w string) bool { return lightWords[w] }
+
+// auxLemmas are verbs that act as auxiliaries when another verb follows.
+var auxLemmas = map[string]bool{"be": true, "do": true, "have": true}
+
+// imperativeVerbs start list-style questions ("Give me all …").
+var imperativeVerbs = map[string]bool{
+	"give": true, "list": true, "show": true, "name": true, "tell": true,
+}

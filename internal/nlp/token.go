@@ -1,0 +1,114 @@
+// Package nlp provides the natural-language pipeline the paper delegates to
+// the Stanford parser (§4.1): tokenization, part-of-speech tagging,
+// lemmatization, and a deterministic rule-based dependency parser that
+// emits Stanford-style typed dependencies for interrogative English.
+//
+// The parser is a substitute substrate, not a general-purpose parser: it
+// covers the constructions the paper's workload exercises — wh-questions,
+// imperative "Give me …" requests, copular questions, passives, relative
+// clauses, preposition fronting and stranding — and is deterministic so
+// experiments are reproducible. Downstream code (Algorithm 2, the argument
+// rules of §4.1.2) consumes only the tree shape and edge labels, which is
+// precisely what this package guarantees.
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one word of the input question.
+type Token struct {
+	Index int    // 0-based position in the sentence
+	Text  string // original surface form
+	Lower string // lowercased surface form
+	Lemma string // dictionary form (see Lemma)
+	Tag   string // Penn-Treebank-style POS tag
+}
+
+// IsWh reports whether the token is an interrogative word (who, what,
+// which, where, when, how, whom, whose). The paper treats wh-words as
+// unconstrained vertices that match every entity and class (§2.2).
+func (t Token) IsWh() bool {
+	switch t.Lower {
+	case "who", "what", "which", "where", "when", "how", "whom", "whose":
+		return true
+	}
+	return false
+}
+
+// IsVerbTag reports whether the tag is any verb tag.
+func IsVerbTag(tag string) bool { return strings.HasPrefix(tag, "VB") }
+
+// IsNounTag reports whether the tag is any noun tag.
+func IsNounTag(tag string) bool { return strings.HasPrefix(tag, "NN") }
+
+// Tokenize splits a question into tokens. Punctuation is dropped except
+// that it delimits words; possessive "'s" becomes its own token (tag POS);
+// hyphenated words are kept whole.
+func Tokenize(s string) []Token {
+	var toks []Token
+	add := func(w string) {
+		if w == "" {
+			return
+		}
+		toks = append(toks, Token{Index: len(toks), Text: w, Lower: strings.ToLower(w)})
+	}
+	var cur strings.Builder
+	flush := func() {
+		w := cur.String()
+		cur.Reset()
+		if w == "" {
+			return
+		}
+		// Split possessive and common contractions.
+		lower := strings.ToLower(w)
+		switch {
+		case strings.HasSuffix(lower, "'s") && len(w) > 2:
+			add(w[:len(w)-2])
+			add(w[len(w)-2:])
+		case strings.HasSuffix(lower, "n't") && len(w) > 3:
+			add(w[:len(w)-3])
+			add("not")
+		default:
+			add(w)
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			cur.WriteRune(r)
+		case r == '\'':
+			cur.WriteRune(r)
+		case r == '-' || r == '.' && cur.Len() > 0 && isAbbrevSoFar(cur.String()):
+			// Keep hyphens inside words and dots inside abbreviations
+			// like "U.S." or "J.F." so entity mentions survive.
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	// Strip a sentence-final period from the last token ("MI6." → "MI6")
+	// while preserving internal abbreviation dots ("John F. Kennedy").
+	if n := len(toks); n > 0 {
+		t := &toks[n-1]
+		if strings.HasSuffix(t.Text, ".") && !strings.Contains(strings.TrimSuffix(t.Text, "."), ".") {
+			t.Text = strings.TrimSuffix(t.Text, ".")
+			t.Lower = strings.ToLower(t.Text)
+		}
+	}
+	return toks
+}
+
+// isAbbrevSoFar reports whether the partial word looks like an
+// abbreviation in progress (single letters separated by dots, or an
+// uppercase run such as "U.S").
+func isAbbrevSoFar(w string) bool {
+	for _, r := range w {
+		if r != '.' && !unicode.IsUpper(r) && !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return w != ""
+}

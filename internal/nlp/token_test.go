@@ -1,0 +1,90 @@
+package nlp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func words(toks []Token) []string {
+	if len(toks) == 0 {
+		return nil
+	}
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Who is the mayor of Berlin?", []string{"Who", "is", "the", "mayor", "of", "Berlin"}},
+		{"Give me all members of Prodigy.", []string{"Give", "me", "all", "members", "of", "Prodigy"}},
+		{"Who was the father of Queen Elizabeth II?", []string{"Who", "was", "the", "father", "of", "Queen", "Elizabeth", "II"}},
+		{"", nil},
+		{"   ", nil},
+		{"a  b\tc", []string{"a", "b", "c"}},
+	}
+	for _, c := range cases {
+		got := words(Tokenize(c.in))
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizePossessive(t *testing.T) {
+	got := words(Tokenize("What is Angela Merkel's birth name?"))
+	want := []string{"What", "is", "Angela", "Merkel", "'s", "birth", "name"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeContraction(t *testing.T) {
+	got := words(Tokenize("Which countries don't border Germany?"))
+	want := []string{"Which", "countries", "do", "not", "border", "Germany"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeAbbreviationsAndHyphens(t *testing.T) {
+	got := words(Tokenize("Who was the successor of John F. Kennedy?"))
+	want := []string{"Who", "was", "the", "successor", "of", "John", "F.", "Kennedy"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	got = words(Tokenize("Is Co-op a company?"))
+	if got[1] != "Co-op" {
+		t.Fatalf("hyphenated word split: %v", got)
+	}
+}
+
+func TestTokenizeIndexAndLower(t *testing.T) {
+	toks := Tokenize("Who created Minecraft?")
+	for i, tok := range toks {
+		if tok.Index != i {
+			t.Fatalf("token %d has Index %d", i, tok.Index)
+		}
+		if tok.Lower != strings.ToLower(tok.Text) {
+			t.Fatalf("token %q has Lower %q", tok.Text, tok.Lower)
+		}
+	}
+}
+
+func TestIsWh(t *testing.T) {
+	toks := Tokenize("who what which where when how whom whose berlin")
+	for i, tok := range toks[:8] {
+		if !tok.IsWh() {
+			t.Errorf("token %d %q should be wh", i, tok.Text)
+		}
+	}
+	if toks[8].IsWh() {
+		t.Error("berlin is not a wh-word")
+	}
+}

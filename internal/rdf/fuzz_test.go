@@ -1,0 +1,29 @@
+package rdf
+
+import "testing"
+
+// FuzzParseNTriples: the decoder must never panic; on success, re-encoding
+// and re-parsing must be a fixed point.
+func FuzzParseNTriples(f *testing.F) {
+	f.Add(`<http://e/s> <http://e/p> <http://e/o> .`)
+	f.Add(`<http://e/s> <http://e/p> "lit"@en .`)
+	f.Add(`<http://e/s> <http://e/p> "xA"^^<http://t> .`)
+	f.Add(`_:b <http://e/p> _:c .`)
+	f.Add(`# comment`)
+	f.Add(`malformed`)
+	f.Fuzz(func(t *testing.T, line string) {
+		ts, err := ParseString(line)
+		if err != nil {
+			return
+		}
+		for _, tr := range ts {
+			again, err := ParseString(tr.String())
+			if err != nil {
+				t.Fatalf("re-parse of %q failed: %v", tr.String(), err)
+			}
+			if len(again) != 1 || again[0] != tr {
+				t.Fatalf("round trip changed %q → %q", tr.String(), again)
+			}
+		}
+	})
+}

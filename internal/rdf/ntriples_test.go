@@ -1,0 +1,136 @@
+package rdf
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleTriples(t *testing.T) {
+	src := `
+# a comment line
+<http://e.org/A> <http://e.org/knows> <http://e.org/B> .
+
+<http://e.org/A> <http://e.org/name> "Alice" .
+<http://e.org/A> <http://e.org/age> "30"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://e.org/A> <http://e.org/label> "Alicia"@es .
+_:b0 <http://e.org/p> _:b1 .
+`
+	got, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d triples, want 5", len(got))
+	}
+	if got[1].Object != NewLiteral("Alice") {
+		t.Errorf("literal object: %v", got[1].Object)
+	}
+	if got[2].Object.Datatype() != XSDInteger {
+		t.Errorf("typed literal: %v", got[2].Object)
+	}
+	if got[3].Object.Lang() != "es" {
+		t.Errorf("lang literal: %v", got[3].Object)
+	}
+	if !got[4].Subject.IsBlank() || !got[4].Object.IsBlank() {
+		t.Errorf("blank nodes: %v", got[4])
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	src := `<http://e/s> <http://e/p> "a\tb\nc\"d\\eé\U0001F600" .`
+	got, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\tb\nc\"d\\eé\U0001F600"
+	if got[0].Object.Value() != want {
+		t.Fatalf("unescaped %q, want %q", got[0].Object.Value(), want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing dot", `<http://e/s> <http://e/p> <http://e/o>`},
+		{"trailing junk", `<http://e/s> <http://e/p> <http://e/o> . extra`},
+		{"unterminated iri", `<http://e/s <http://e/p> <http://e/o> .`},
+		{"unterminated literal", `<http://e/s> <http://e/p> "open .`},
+		{"literal subject", `"x" <http://e/p> <http://e/o> .`},
+		{"blank predicate", `<http://e/s> _:b <http://e/o> .`},
+		{"bad escape", `<http://e/s> <http://e/p> "\q" .`},
+		{"bad unicode escape", `<http://e/s> <http://e/p> "\uZZZZ" .`},
+		{"empty iri", `<> <http://e/p> <http://e/o> .`},
+		{"truncated line", `<http://e/s>`},
+		{"empty lang", `<http://e/s> <http://e/p> "x"@ .`},
+		{"garbage term", `? <http://e/p> <http://e/o> .`},
+		{"datatype without iri", `<http://e/s> <http://e/p> ""^^> .`}, // fuzz regression
+		{"datatype bare", `<http://e/s> <http://e/p> "x"^^ .`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseString(c.src); err == nil {
+				t.Fatalf("expected error for %q", c.src)
+			} else if _, ok := err.(*ParseError); !ok {
+				t.Fatalf("want *ParseError, got %T: %v", err, err)
+			}
+		})
+	}
+}
+
+func TestParseErrorReportsLine(t *testing.T) {
+	src := "<http://e/s> <http://e/p> <http://e/o> .\nbad line\n"
+	_, err := ParseString(src)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("want ParseError, got %v", err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("want line 2, got %d", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 2") {
+		t.Fatalf("message should carry the line: %s", pe.Error())
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	in := []Triple{
+		T(Resource("Antonio_Banderas"), Ontology("spouse"), Resource("Melanie_Griffith")),
+		T(Resource("Berlin"), NewIRI(RDFSLabel), NewLangLiteral("Berlin", "de")),
+		T(Resource("Q"), Ontology("height"), NewTypedLiteral("1.98", XSDDouble)),
+		T(NewBlank("x"), Ontology("p"), NewLiteral("tab\there")),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d triples, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("triple %d: got %v want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDecoderStreamsAndStops(t *testing.T) {
+	d := NewDecoder(strings.NewReader("<http://e/s> <http://e/p> <http://e/o> .\n"))
+	if _, err := d.Decode(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decode(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+	// EOF is sticky.
+	if _, err := d.Decode(); err != io.EOF {
+		t.Fatalf("want io.EOF again, got %v", err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package sparql implements the SPARQL subset gqa needs: SELECT/ASK
+// queries over basic graph patterns with DISTINCT, LIMIT and OFFSET,
+// evaluated against the in-memory store by backtracking join.
+//
+// Existing RDF Q/A systems translate questions into SPARQL and evaluate
+// those (§1.1); the DEANNA baseline in this repository does exactly that,
+// and this package is its execution substrate (standing in for gStore
+// [33]). It is also a convenient power-user API alongside natural-language
+// querying.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"gqa/internal/rdf"
+)
+
+// Kind discriminates query forms.
+type Kind int
+
+const (
+	// KindSelect is a SELECT query returning variable bindings.
+	KindSelect Kind = iota
+	// KindAsk is an ASK query returning a boolean.
+	KindAsk
+)
+
+// Term is one position of a triple pattern: either a variable (Var != "")
+// or a constant RDF term.
+type Term struct {
+	Var   string
+	Const rdf.Term
+}
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+func (t Term) String() string {
+	if t.IsVar() {
+		return "?" + t.Var
+	}
+	return t.Const.String()
+}
+
+// Pattern is one triple pattern of a basic graph pattern.
+type Pattern struct {
+	S, P, O Term
+}
+
+func (p Pattern) String() string {
+	return fmt.Sprintf("%s %s %s .", p.S, p.P, p.O)
+}
+
+// FilterOp is a comparison operator in a FILTER expression.
+type FilterOp int
+
+const (
+	OpEq FilterOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (o FilterOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Filter is a binary comparison constraint: FILTER(?x > 10). Numeric
+// literals compare numerically; everything else compares by Term ordering.
+type Filter struct {
+	Left  Term
+	Op    FilterOp
+	Right Term
+}
+
+func (f Filter) String() string {
+	return fmt.Sprintf("FILTER(%s %s %s)", f.Left, f.Op, f.Right)
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	Kind     Kind
+	Vars     []string // projection; empty means SELECT *
+	Distinct bool
+	Patterns []Pattern
+	Filters  []Filter
+	OrderBy  []OrderKey
+	Limit    int // 0 = unlimited
+	Offset   int
+}
+
+// String renders the query in SPARQL syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	switch q.Kind {
+	case KindAsk:
+		b.WriteString("ASK")
+	default:
+		b.WriteString("SELECT ")
+		if q.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		if len(q.Vars) == 0 {
+			b.WriteString("*")
+		} else {
+			for i, v := range q.Vars {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString("?" + v)
+			}
+		}
+	}
+	b.WriteString(" WHERE { ")
+	for _, p := range q.Patterns {
+		b.WriteString(p.String())
+		b.WriteByte(' ')
+	}
+	for _, f := range q.Filters {
+		b.WriteString(f.String())
+		b.WriteByte(' ')
+	}
+	b.WriteString("}")
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY")
+		for _, k := range q.OrderBy {
+			if k.Desc {
+				fmt.Fprintf(&b, " DESC(?%s)", k.Var)
+			} else {
+				fmt.Fprintf(&b, " ASC(?%s)", k.Var)
+			}
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, " OFFSET %d", q.Offset)
+	}
+	return b.String()
+}
+
+// AllVars returns the variables mentioned in the patterns, in first-use
+// order.
+func (q *Query) AllVars() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(t Term) {
+		if t.IsVar() && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	for _, p := range q.Patterns {
+		add(p.S)
+		add(p.P)
+		add(p.O)
+	}
+	return out
+}

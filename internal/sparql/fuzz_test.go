@@ -1,0 +1,28 @@
+package sparql
+
+import "testing"
+
+// FuzzParseSPARQL: the parser must never panic; successful parses must
+// render to text that reparses to the same rendering (printing fixed
+// point).
+func FuzzParseSPARQL(f *testing.F) {
+	f.Add(`SELECT ?x WHERE { ?x ?p ?o }`)
+	f.Add(`SELECT DISTINCT ?x WHERE { ?x a dbo:Film . FILTER(?x != dbr:A) } ORDER BY DESC(?x) LIMIT 3`)
+	f.Add(`ASK { dbr:A dbo:p dbr:B }`)
+	f.Add(`PREFIX e: <http://e/> SELECT * WHERE { e:a e:b "lit"@en }`)
+	f.Add(`garbage {{{`)
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering of %q does not reparse: %v\n%s", src, err, rendered)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("unstable rendering:\n%s\n%s", rendered, q2.String())
+		}
+	})
+}

@@ -1,0 +1,467 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"gqa/internal/rdf"
+)
+
+// Parse parses a SPARQL query in the supported subset:
+//
+//	[PREFIX pfx: <iri>]*
+//	SELECT [DISTINCT] (?v ... | *) WHERE { pattern* } [LIMIT n] [OFFSET n]
+//	ASK WHERE { pattern* }
+//
+// Patterns are ⟨term term term .⟩ with IRIs (<…> or pfx:name), variables,
+// plain/typed/tagged literals, and the keyword `a` for rdf:type.
+func Parse(src string) (*Query, error) {
+	p := &qparser{toks: lex(src)}
+	return p.parse()
+}
+
+type token struct {
+	kind string // "iri", "pname", "var", "lit", "kw", "punct", "num"
+	text string
+	dt   string // literal datatype
+	lang string // literal language
+}
+
+func lex(src string) []token {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '<':
+			// '<' opens an IRI unless it reads as a comparison operator:
+			// "FILTER(?x < 5)" / "?x <= ?y".
+			if i+1 < n && (src[i+1] == ' ' || src[i+1] == '=' || src[i+1] == '\t') {
+				if i+1 < n && src[i+1] == '=' {
+					toks = append(toks, token{kind: "op", text: "<="})
+					i += 2
+				} else {
+					toks = append(toks, token{kind: "op", text: "<"})
+					i++
+				}
+				continue
+			}
+			j := strings.IndexByte(src[i:], '>')
+			if j < 0 {
+				toks = append(toks, token{kind: "err", text: "unterminated IRI"})
+				return toks
+			}
+			toks = append(toks, token{kind: "iri", text: src[i+1 : i+j]})
+			i += j + 1
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: "op", text: ">="})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: "op", text: ">"})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{kind: "op", text: "="})
+			i++
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: "op", text: "!="})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: "err", text: "unexpected '!'"})
+				return toks
+			}
+		case c == '?' || c == '$':
+			j := i + 1
+			for j < n && (isNameChar(src[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: "var", text: src[i+1 : j]})
+			i = j
+		case c == '"':
+			lit, rest, ok := lexLiteral(src[i:])
+			if !ok {
+				toks = append(toks, token{kind: "err", text: "unterminated literal"})
+				return toks
+			}
+			toks = append(toks, lit)
+			i += rest
+		case c == '{' || c == '}' || c == '.' && !(i+1 < n && src[i+1] >= '0' && src[i+1] <= '9') || c == ';' || c == ',' || c == '*' || c == '(' || c == ')':
+			toks = append(toks, token{kind: "punct", text: string(c)})
+			i++
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			dot := false
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' && !dot) {
+				if src[j] == '.' {
+					// A trailing '.' is the statement terminator, not a
+					// decimal point.
+					if j+1 >= n || src[j+1] < '0' || src[j+1] > '9' {
+						break
+					}
+					dot = true
+				}
+				j++
+			}
+			toks = append(toks, token{kind: "num", text: src[i:j]})
+			i = j
+		default:
+			j := i
+			for j < n && (isNameChar(src[j]) || src[j] == ':') {
+				j++
+			}
+			if j == i {
+				toks = append(toks, token{kind: "err", text: fmt.Sprintf("unexpected character %q", c)})
+				return toks
+			}
+			word := src[i:j]
+			if strings.Contains(word, ":") {
+				toks = append(toks, token{kind: "pname", text: word})
+			} else {
+				toks = append(toks, token{kind: "kw", text: word})
+			}
+			i = j
+		}
+	}
+	return toks
+}
+
+func isNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+func lexLiteral(s string) (token, int, bool) {
+	var b strings.Builder
+	i := 1
+	for {
+		if i >= len(s) {
+			return token{}, 0, false
+		}
+		switch s[i] {
+		case '"':
+			i++
+			goto tail
+		case '\\':
+			if i+1 >= len(s) {
+				return token{}, 0, false
+			}
+			switch s[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i += 2
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+tail:
+	tok := token{kind: "lit", text: b.String()}
+	if i+1 < len(s) && s[i] == '^' && s[i+1] == '^' {
+		i += 2
+		if i < len(s) && s[i] == '<' {
+			j := strings.IndexByte(s[i:], '>')
+			if j < 0 {
+				return token{}, 0, false
+			}
+			tok.dt = s[i+1 : i+j]
+			i += j + 1
+		}
+	} else if i < len(s) && s[i] == '@' {
+		j := i + 1
+		for j < len(s) && (isNameChar(s[j])) {
+			j++
+		}
+		tok.lang = s[i+1 : j]
+		i = j
+	}
+	return tok, i, true
+}
+
+type qparser struct {
+	toks     []token
+	pos      int
+	prefixes map[string]string
+}
+
+func (p *qparser) peek() token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return token{kind: "eof"}
+}
+
+func (p *qparser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *qparser) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: %s", fmt.Sprintf(format, args...))
+}
+
+func (p *qparser) kw(word string) bool {
+	t := p.peek()
+	if t.kind == "kw" && strings.EqualFold(t.text, word) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *qparser) parse() (*Query, error) {
+	p.prefixes = map[string]string{
+		"rdf":  "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+		"rdfs": "http://www.w3.org/2000/01/rdf-schema#",
+		"xsd":  "http://www.w3.org/2001/XMLSchema#",
+		"dbo":  rdf.OntologyBase,
+		"dbr":  rdf.ResourceBase,
+		"dbp":  rdf.PropertyBase,
+	}
+	for p.kw("PREFIX") {
+		name := p.next()
+		if name.kind != "pname" || !strings.HasSuffix(name.text, ":") {
+			return nil, p.errf("bad prefix name %q", name.text)
+		}
+		iri := p.next()
+		if iri.kind != "iri" {
+			return nil, p.errf("bad prefix IRI for %q", name.text)
+		}
+		p.prefixes[strings.TrimSuffix(name.text, ":")] = iri.text
+	}
+
+	q := &Query{}
+	switch {
+	case p.kw("SELECT"):
+		q.Kind = KindSelect
+		if p.kw("DISTINCT") {
+			q.Distinct = true
+		}
+		star := false
+		for {
+			t := p.peek()
+			if t.kind == "var" {
+				p.pos++
+				q.Vars = append(q.Vars, t.text)
+				continue
+			}
+			if t.kind == "punct" && t.text == "*" {
+				p.pos++
+				star = true
+				continue
+			}
+			break
+		}
+		if !star && len(q.Vars) == 0 {
+			return nil, p.errf("SELECT needs variables or *")
+		}
+	case p.kw("ASK"):
+		q.Kind = KindAsk
+	default:
+		return nil, p.errf("expected SELECT or ASK, got %q", p.peek().text)
+	}
+
+	p.kw("WHERE") // optional keyword
+	if t := p.next(); !(t.kind == "punct" && t.text == "{") {
+		return nil, p.errf("expected '{', got %q", t.text)
+	}
+	for {
+		t := p.peek()
+		if t.kind == "punct" && t.text == "}" {
+			p.pos++
+			break
+		}
+		if t.kind == "eof" {
+			return nil, p.errf("unterminated group pattern")
+		}
+		if p.kw("FILTER") {
+			f, err := p.filter()
+			if err != nil {
+				return nil, err
+			}
+			q.Filters = append(q.Filters, f)
+			if t := p.peek(); t.kind == "punct" && t.text == "." {
+				p.pos++
+			}
+			continue
+		}
+		pat, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, pat)
+		if t := p.peek(); t.kind == "punct" && t.text == "." {
+			p.pos++
+		}
+	}
+
+	for {
+		switch {
+		case p.kw("ORDER"):
+			if !p.kw("BY") {
+				return nil, p.errf("ORDER must be followed by BY")
+			}
+			keys, err := p.orderKeys()
+			if err != nil {
+				return nil, err
+			}
+			q.OrderBy = keys
+		case p.kw("LIMIT"):
+			t := p.next()
+			if t.kind != "num" {
+				return nil, p.errf("LIMIT needs a number")
+			}
+			fmt.Sscanf(t.text, "%d", &q.Limit)
+		case p.kw("OFFSET"):
+			t := p.next()
+			if t.kind != "num" {
+				return nil, p.errf("OFFSET needs a number")
+			}
+			fmt.Sscanf(t.text, "%d", &q.Offset)
+		default:
+			if t := p.peek(); t.kind != "eof" {
+				return nil, p.errf("trailing content %q", t.text)
+			}
+			return q, nil
+		}
+	}
+}
+
+func (p *qparser) pattern() (Pattern, error) {
+	s, err := p.term(false)
+	if err != nil {
+		return Pattern{}, err
+	}
+	pr, err := p.term(true)
+	if err != nil {
+		return Pattern{}, err
+	}
+	o, err := p.term(false)
+	if err != nil {
+		return Pattern{}, err
+	}
+	return Pattern{S: s, P: pr, O: o}, nil
+}
+
+func (p *qparser) term(isPred bool) (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case "var":
+		return Term{Var: t.text}, nil
+	case "iri":
+		return Term{Const: rdf.NewIRI(t.text)}, nil
+	case "pname":
+		i := strings.IndexByte(t.text, ':')
+		base, ok := p.prefixes[t.text[:i]]
+		if !ok {
+			return Term{}, p.errf("unknown prefix %q", t.text[:i])
+		}
+		return Term{Const: rdf.NewIRI(base + t.text[i+1:])}, nil
+	case "lit":
+		switch {
+		case t.lang != "":
+			return Term{Const: rdf.NewLangLiteral(t.text, t.lang)}, nil
+		case t.dt != "":
+			return Term{Const: rdf.NewTypedLiteral(t.text, t.dt)}, nil
+		default:
+			return Term{Const: rdf.NewLiteral(t.text)}, nil
+		}
+	case "num":
+		return Term{Const: rdf.NewTypedLiteral(t.text, rdf.XSDInteger)}, nil
+	case "kw":
+		if t.text == "a" && isPred {
+			return Term{Const: rdf.NewIRI(rdf.RDFType)}, nil
+		}
+		return Term{}, p.errf("unexpected word %q in pattern", t.text)
+	case "err":
+		return Term{}, p.errf("%s", t.text)
+	}
+	return Term{}, p.errf("unexpected token %q in pattern", t.text)
+}
+
+// filter parses "( operand op operand )" after the FILTER keyword.
+func (p *qparser) filter() (Filter, error) {
+	if t := p.next(); !(t.kind == "punct" && t.text == "(") {
+		return Filter{}, p.errf("FILTER needs '(', got %q", t.text)
+	}
+	left, err := p.term(false)
+	if err != nil {
+		return Filter{}, err
+	}
+	opTok := p.next()
+	if opTok.kind != "op" {
+		return Filter{}, p.errf("FILTER needs a comparison operator, got %q", opTok.text)
+	}
+	var op FilterOp
+	switch opTok.text {
+	case "=":
+		op = OpEq
+	case "!=":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	}
+	right, err := p.term(false)
+	if err != nil {
+		return Filter{}, err
+	}
+	if t := p.next(); !(t.kind == "punct" && t.text == ")") {
+		return Filter{}, p.errf("FILTER needs ')', got %q", t.text)
+	}
+	return Filter{Left: left, Op: op, Right: right}, nil
+}
+
+// orderKeys parses "?v", "ASC(?v)" and "DESC(?v)" sequences.
+func (p *qparser) orderKeys() ([]OrderKey, error) {
+	var out []OrderKey
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == "var":
+			p.pos++
+			out = append(out, OrderKey{Var: t.text})
+		case t.kind == "kw" && (strings.EqualFold(t.text, "ASC") || strings.EqualFold(t.text, "DESC")):
+			p.pos++
+			desc := strings.EqualFold(t.text, "DESC")
+			if tt := p.next(); !(tt.kind == "punct" && tt.text == "(") {
+				return nil, p.errf("%s needs '('", t.text)
+			}
+			v := p.next()
+			if v.kind != "var" {
+				return nil, p.errf("%s needs a variable", t.text)
+			}
+			if tt := p.next(); !(tt.kind == "punct" && tt.text == ")") {
+				return nil, p.errf("%s needs ')'", t.text)
+			}
+			out = append(out, OrderKey{Var: v.text, Desc: desc})
+		default:
+			if len(out) == 0 {
+				return nil, p.errf("ORDER BY needs at least one key")
+			}
+			return out, nil
+		}
+	}
+}

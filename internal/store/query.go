@@ -1,0 +1,172 @@
+package store
+
+// Pattern scans: the SPARQL engine and the DEANNA baseline evaluate basic
+// graph patterns against the store through Match, which dispatches on which
+// positions are bound. Wildcard positions use the sentinel Any.
+
+// Any is the wildcard for Match.
+const Any ID = None
+
+// Match calls fn for every triple matching the (s, p, o) pattern, where any
+// position may be Any. Iteration stops early if fn returns false.
+//
+// Dispatch picks the cheapest available index:
+//
+//	bound s      → scan out[s]
+//	bound o      → scan in[o]
+//	bound p only → scan the predicate-major index
+//	none bound   → scan everything
+func (g *Graph) Match(s, p, o ID, fn func(Spo) bool) {
+	switch {
+	case s != Any && p != Any && o != Any:
+		if g.Has(s, p, o) {
+			fn(Spo{s, p, o})
+		}
+	case s != Any:
+		if int(s) >= len(g.out) {
+			return
+		}
+		for _, e := range g.out[s] {
+			if p != Any && e.Pred != p {
+				continue
+			}
+			if o != Any && e.To != o {
+				continue
+			}
+			if !fn(Spo{s, e.Pred, e.To}) {
+				return
+			}
+		}
+	case o != Any:
+		if int(o) >= len(g.in) {
+			return
+		}
+		for _, e := range g.in[o] {
+			if p != Any && e.Pred != p {
+				continue
+			}
+			if !fn(Spo{e.To, e.Pred, o}) {
+				return
+			}
+		}
+	case p != Any:
+		for _, spo := range g.byPred[p] {
+			if !fn(spo) {
+				return
+			}
+		}
+	default:
+		for spo := range g.triples {
+			if !fn(spo) {
+				return
+			}
+		}
+	}
+}
+
+// Count returns the number of triples matching the pattern.
+func (g *Graph) Count(s, p, o ID) int {
+	n := 0
+	g.Match(s, p, o, func(Spo) bool { n++; return true })
+	return n
+}
+
+// Neighbor describes one undirected step from a vertex: the predicate, the
+// vertex reached, and whether the underlying edge points away from the
+// start (Forward) or toward it. The offline miner walks these (§3: "we
+// ignore edge directions in a BFS process") and predicate paths record the
+// direction so that, e.g., "uncle of" can be ⟨hasChild⁻, hasChild⟩.
+type Neighbor struct {
+	Pred    ID
+	To      ID
+	Forward bool
+}
+
+// UndirectedNeighbors calls fn for every edge incident to v, in both
+// directions. Iteration stops early if fn returns false.
+func (g *Graph) UndirectedNeighbors(v ID, fn func(Neighbor) bool) {
+	for _, e := range g.out[v] {
+		if !fn(Neighbor{Pred: e.Pred, To: e.To, Forward: true}) {
+			return
+		}
+	}
+	for _, e := range g.in[v] {
+		if !fn(Neighbor{Pred: e.Pred, To: e.To, Forward: false}) {
+			return
+		}
+	}
+}
+
+// EdgesBetween returns every (predicate, forward) pair connecting u and v in
+// either direction. It is the primitive Definition 3 condition 3 needs:
+// a query edge may match u→v or v→u.
+func (g *Graph) EdgesBetween(u, v ID) []Neighbor {
+	var out []Neighbor
+	for _, e := range g.out[u] {
+		if e.To == v {
+			out = append(out, Neighbor{Pred: e.Pred, To: v, Forward: true})
+		}
+	}
+	for _, e := range g.in[u] {
+		if e.To == v {
+			out = append(out, Neighbor{Pred: e.Pred, To: v, Forward: false})
+		}
+	}
+	return out
+}
+
+// HasAdjacentPred reports whether v has any incident edge (either
+// direction) labeled p. It implements the neighborhood-based pruning test
+// of §4.2.2: a candidate vertex with no adjacent edge mapping to the query
+// edge's predicate candidates cannot occur in any match. The vertex
+// signature rejects most misses in O(1).
+func (g *Graph) HasAdjacentPred(v, p ID) bool {
+	if g.sig[v]&(uint64(1)<<(uint(p)%64)) == 0 {
+		return false
+	}
+	for _, e := range g.out[v] {
+		if e.Pred == p {
+			return true
+		}
+	}
+	for _, e := range g.in[v] {
+		if e.Pred == p {
+			return true
+		}
+	}
+	return false
+}
+
+// ObjectsOf returns the distinct objects of (s, p, *) in first-seen order.
+func (g *Graph) ObjectsOf(s, p ID) []ID {
+	var out []ID
+	seen := make(map[ID]struct{})
+	for _, e := range g.out[s] {
+		if e.Pred != p {
+			continue
+		}
+		if _, dup := seen[e.To]; dup {
+			continue
+		}
+		seen[e.To] = struct{}{}
+		out = append(out, e.To)
+	}
+	return out
+}
+
+// SubjectsOf returns the distinct subjects of (*, p, o) in first-seen order.
+func (g *Graph) SubjectsOf(p, o ID) []ID {
+	var out []ID
+	seen := make(map[ID]struct{})
+	for _, e := range g.in[o] {
+		if e.Pred != p {
+			continue
+		}
+		if _, dup := seen[e.To]; dup {
+			continue
+		}
+		seen[e.To] = struct{}{}
+		out = append(out, e.To)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package store
+
+// Binary snapshots: a compact dictionary-encoded serialization of a graph,
+// loading far faster than re-parsing N-Triples. Intended for shipping a
+// prepared knowledge base next to its mined dictionary.
+//
+// Layout (all integers unsigned varints unless noted):
+//
+//	magic "GQASNAP1"
+//	termCount, then per term: kind byte, value, datatype, lang (len-prefixed)
+//	tripleCount, then per triple: s, p, o (IDs)
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"gqa/internal/rdf"
+)
+
+var snapshotMagic = []byte("GQASNAP1")
+
+// Snapshot writes the graph in binary snapshot format.
+func (g *Graph) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(g.terms)))
+	for _, t := range g.terms {
+		bw.WriteByte(byte(t.Kind()))
+		writeString(bw, t.Value())
+		writeString(bw, t.Datatype())
+		writeString(bw, t.Lang())
+	}
+	// Deterministic triple order.
+	triples := make([]Spo, 0, len(g.triples))
+	for spo := range g.triples {
+		triples = append(triples, spo)
+	}
+	sort.Slice(triples, func(i, j int) bool {
+		a, b := triples[i], triples[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.O < b.O
+	})
+	writeUvarint(bw, uint64(len(triples)))
+	for _, t := range triples {
+		writeUvarint(bw, uint64(t.S))
+		writeUvarint(bw, uint64(t.P))
+		writeUvarint(bw, uint64(t.O))
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot reads a snapshot into a fresh graph.
+func LoadSnapshot(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: reading snapshot magic: %w", err)
+	}
+	if string(magic) != string(snapshotMagic) {
+		return nil, fmt.Errorf("store: not a gqa snapshot (magic %q)", magic)
+	}
+	g := New()
+	nTerms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: term count: %w", err)
+	}
+	const maxTerms = 1 << 31
+	if nTerms > maxTerms {
+		return nil, fmt.Errorf("store: implausible term count %d", nTerms)
+	}
+	for i := uint64(0); i < nTerms; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("store: term %d kind: %w", i, err)
+		}
+		value, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: term %d value: %w", i, err)
+		}
+		datatype, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: term %d datatype: %w", i, err)
+		}
+		lang, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: term %d lang: %w", i, err)
+		}
+		var t rdf.Term
+		switch rdf.Kind(kind) {
+		case rdf.KindIRI:
+			t = rdf.NewIRI(value)
+		case rdf.KindBlank:
+			t = rdf.NewBlank(value)
+		case rdf.KindLiteral:
+			switch {
+			case lang != "":
+				t = rdf.NewLangLiteral(value, lang)
+			case datatype != "":
+				t = rdf.NewTypedLiteral(value, datatype)
+			default:
+				t = rdf.NewLiteral(value)
+			}
+		default:
+			return nil, fmt.Errorf("store: term %d has unknown kind %d", i, kind)
+		}
+		if got := g.Intern(t); got != ID(i) {
+			return nil, fmt.Errorf("store: duplicate term %d in snapshot", i)
+		}
+	}
+	nTriples, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: triple count: %w", err)
+	}
+	for i := uint64(0); i < nTriples; i++ {
+		s, err1 := binary.ReadUvarint(br)
+		p, err2 := binary.ReadUvarint(br)
+		o, err3 := binary.ReadUvarint(br)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("store: triple %d truncated", i)
+		}
+		if s >= nTerms || p >= nTerms || o >= nTerms {
+			return nil, fmt.Errorf("store: triple %d references unknown term", i)
+		}
+		g.AddSPO(ID(s), ID(p), ID(o))
+	}
+	return g, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	const maxString = 1 << 24
+	if n > maxString {
+		return "", fmt.Errorf("implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,116 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gqa/internal/rdf"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := New()
+	triples := []rdf.Triple{
+		rdf.T(rdf.Resource("A"), rdf.NewIRI(rdf.RDFType), rdf.Ontology("Actor")),
+		rdf.T(rdf.Resource("A"), rdf.Ontology("spouse"), rdf.Resource("B")),
+		rdf.T(rdf.Resource("A"), rdf.NewIRI(rdf.RDFSLabel), rdf.NewLangLiteral("Ä", "de")),
+		rdf.T(rdf.Resource("A"), rdf.Ontology("height"), rdf.NewTypedLiteral("1.8", rdf.XSDDouble)),
+		rdf.T(rdf.NewBlank("b0"), rdf.Ontology("p"), rdf.NewLiteral("plain")),
+	}
+	if err := g.AddAll(triples); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumTriples() != g.NumTriples() || g2.NumTerms() != g.NumTerms() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			g2.NumTriples(), g2.NumTerms(), g.NumTriples(), g.NumTerms())
+	}
+	for _, tr := range triples {
+		if !g2.HasTriple(tr) {
+			t.Fatalf("missing %v", tr)
+		}
+	}
+	// Derived machinery (classes, labels, signatures) is rebuilt.
+	a, _ := g2.Lookup(rdf.Resource("A"))
+	actor, _ := g2.Lookup(rdf.Ontology("Actor"))
+	if !g2.IsClass(actor) || !g2.HasType(a, actor) {
+		t.Fatal("type machinery not rebuilt")
+	}
+	if g2.LabelOf(a) != "Ä" {
+		t.Fatalf("label = %q", g2.LabelOf(a))
+	}
+	spouse, _ := g2.Lookup(rdf.Ontology("spouse"))
+	if !g2.HasAdjacentPred(a, spouse) {
+		t.Fatal("signatures not rebuilt")
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("NOTSNAP!"),
+		[]byte("GQASNAP1"),               // truncated after magic
+		append([]byte("GQASNAP1"), 0x01), // term count but no term
+		append([]byte("GQASNAP1"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F), // absurd count
+	}
+	for i, c := range cases {
+		if _, err := LoadSnapshot(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Triple referencing unknown term.
+	var buf bytes.Buffer
+	g := New()
+	g.Add(rdf.T(rdf.Resource("A"), rdf.Ontology("p"), rdf.Resource("B")))
+	g.Snapshot(&buf)
+	b := buf.Bytes()
+	b[len(b)-1] = 0x7F // corrupt last triple's object ID
+	if _, err := LoadSnapshot(bytes.NewReader(b)); err == nil {
+		t.Error("corrupt triple accepted")
+	}
+}
+
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, all := randomGraph(r, 2+r.Intn(10), r.Intn(60))
+		var buf bytes.Buffer
+		if err := g.Snapshot(&buf); err != nil {
+			return false
+		}
+		g2, err := LoadSnapshot(&buf)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if g2.NumTriples() != len(all) || g2.NumTerms() != g.NumTerms() {
+			return false
+		}
+		for _, spo := range all {
+			// IDs are preserved exactly (insertion order is serialized).
+			if !g2.Has(spo.S, spo.P, spo.O) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotNotNTriples(t *testing.T) {
+	// Feeding N-Triples text to the snapshot loader errors cleanly.
+	if _, err := LoadSnapshot(strings.NewReader("<http://a> <http://b> <http://c> .\n")); err == nil {
+		t.Fatal("N-Triples accepted as snapshot")
+	}
+}
