@@ -1,0 +1,31 @@
+# Tier-1 verify: everything CI (and the repo driver) runs. The race
+# detector is part of the standard gate — the answering pipeline is
+# served concurrently and the budget/degradation layer must stay
+# data-race free.
+
+GO ?= go
+
+.PHONY: tier1 vet build test race fuzz bench
+
+tier1: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz passes over the parser/evaluator targets (not part of tier1).
+fuzz:
+	$(GO) test -fuzz FuzzParseSPARQL -fuzztime 30s ./internal/sparql/
+	$(GO) test -fuzz FuzzEvalBudget -fuzztime 30s ./internal/sparql/
+	$(GO) test -fuzz FuzzParseNTriples -fuzztime 30s ./internal/rdf/
+
+bench:
+	$(GO) test -bench . -benchmem ./...

@@ -9,14 +9,20 @@
 // knowledge base with a freshly mined paraphrase dictionary. Questions
 // given as arguments are answered and the program exits; otherwise a REPL
 // starts. Lines starting with "sparql " are evaluated as SPARQL instead.
+//
+// -timeout bounds each question's wall-clock time; when it expires the
+// engine returns the best partial answer found so far, flagged
+// "degraded: deadline".
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gqa"
 )
@@ -26,6 +32,7 @@ func main() {
 	dictPath := flag.String("dict", "", "paraphrase dictionary file (gqa-mine output)")
 	explain := flag.Bool("explain", false, "show the top matches behind each answer")
 	aggregate := flag.Bool("aggregate", false, "enable the counting/superlative extension")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per question (0 = unlimited), e.g. 500ms")
 	flag.Parse()
 
 	sys, err := buildSystem(*graphPath, *dictPath, *aggregate)
@@ -36,7 +43,7 @@ func main() {
 
 	if flag.NArg() > 0 {
 		for _, q := range flag.Args() {
-			ask(sys, q, *explain)
+			ask(sys, q, *explain, *timeout)
 		}
 		return
 	}
@@ -55,9 +62,9 @@ func main() {
 		case line == "quit" || line == "exit":
 			return
 		case strings.HasPrefix(line, "sparql "):
-			runSPARQL(sys, strings.TrimPrefix(line, "sparql "))
+			runSPARQL(sys, strings.TrimPrefix(line, "sparql "), *timeout)
 		default:
-			ask(sys, line, *explain)
+			ask(sys, line, *explain, *timeout)
 		}
 	}
 }
@@ -98,7 +105,14 @@ func buildSystem(graphPath, dictPath string, aggregate bool) (*gqa.System, error
 	return sys, nil
 }
 
-func ask(sys *gqa.System, question string, explain bool) {
+func withBudget(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.Background(), func() {}
+}
+
+func ask(sys *gqa.System, question string, explain bool, timeout time.Duration) {
 	if explain {
 		ans, lines, err := sys.Explain(question)
 		if err != nil {
@@ -111,7 +125,9 @@ func ask(sys *gqa.System, question string, explain bool) {
 		}
 		return
 	}
-	ans, err := sys.Answer(question)
+	ctx, cancel := withBudget(timeout)
+	defer cancel()
+	ans, err := sys.AnswerContext(ctx, question)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -120,23 +136,32 @@ func ask(sys *gqa.System, question string, explain bool) {
 }
 
 func printAnswer(ans *gqa.Answer) {
+	note := ""
+	if ans.Degraded != "" {
+		note = "  [degraded: " + ans.Degraded + "]"
+	}
 	switch {
 	case ans.Boolean != nil:
-		fmt.Printf("→ %v  (%.1fms)\n", *ans.Boolean, ms(ans))
+		fmt.Printf("→ %v  (%.1fms)%s\n", *ans.Boolean, ms(ans), note)
 	case ans.OK:
-		fmt.Printf("→ %s  (%.1fms)\n", strings.Join(ans.Labels, "; "), ms(ans))
+		fmt.Printf("→ %s  (%.1fms)%s\n", strings.Join(ans.Labels, "; "), ms(ans), note)
 	default:
-		fmt.Printf("→ no answer (%s)\n", ans.Failure)
+		fmt.Printf("→ no answer (%s)%s\n", ans.Failure, note)
 	}
 }
 
 func ms(ans *gqa.Answer) float64 { return float64(ans.Total.Microseconds()) / 1000 }
 
-func runSPARQL(sys *gqa.System, query string) {
-	res, err := sys.Query(query)
+func runSPARQL(sys *gqa.System, query string, timeout time.Duration) {
+	ctx, cancel := withBudget(timeout)
+	defer cancel()
+	res, err := sys.QueryContext(ctx, query)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
+	}
+	if res.Truncated != "" {
+		fmt.Printf("  [truncated: %s]\n", res.Truncated)
 	}
 	if len(res.Rows) == 0 {
 		fmt.Printf("→ boolean: %v\n", res.Boolean)

@@ -27,6 +27,7 @@
 package gqa
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -56,14 +57,20 @@ type Options struct {
 	// paper's future work). Superlative adjectives are interpreted via
 	// RegisterSuperlative.
 	EnableAggregation bool
+	// Budget bounds the resources each Answer/Query call may consume
+	// (wall-clock timeout, search steps, candidate expansions, SPARQL
+	// rows). The zero value means unlimited — identical behavior to an
+	// unbudgeted engine. See AnswerContext for the degradation contract.
+	Budget Budget
 }
 
 // System is a ready-to-query Q/A engine: an RDF graph, a paraphrase
 // dictionary, and the online pipeline. Safe for concurrent use once built.
 type System struct {
-	graph *store.Graph
-	dict  *dict.Dictionary
-	core  *core.System
+	graph  *store.Graph
+	dict   *dict.Dictionary
+	core   *core.System
+	budget Budget
 }
 
 // NewSystem assembles a System from a loaded graph and dictionary. A nil
@@ -73,13 +80,15 @@ func NewSystem(g *store.Graph, d *dict.Dictionary, opts Options) *System {
 		d = dict.New()
 	}
 	return &System{
-		graph: g,
-		dict:  d,
+		graph:  g,
+		dict:   d,
+		budget: opts.Budget,
 		core: core.NewSystem(g, d, core.Options{
 			TopK:                  opts.TopK,
 			MaxVertexCandidates:   opts.MaxCandidates,
 			DisableHeuristicRules: opts.DisableHeuristicRules,
 			EnableAggregation:     opts.EnableAggregation,
+			Budget:                opts.Budget.limits(),
 		}),
 	}
 }
@@ -165,19 +174,29 @@ type Answer struct {
 	// exists. It evaluates to the same answers on the same graph and can
 	// be exported to any SPARQL endpoint.
 	SPARQL string
+	// Degraded is set when a budget (Options.Budget or the caller's
+	// context) ran out before the search completed: "deadline",
+	// "canceled", "steps", or "candidates". The answer then reflects the
+	// best partial top-k found in time — possibly empty — rather than the
+	// full search. Empty for a complete, trustworthy answer.
+	Degraded string
 	// Understanding and Total are the stage timings of Figure 6.
 	Understanding time.Duration
 	Total         time.Duration
 }
 
 // Answer runs the full online pipeline on a natural-language question.
+// Panics in the pipeline surface as *PipelineError; use AnswerContext to
+// additionally bound the work with a deadline.
 func (s *System) Answer(question string) (*Answer, error) {
-	res, err := s.core.Answer(question)
-	if err != nil {
-		return nil, err
-	}
+	return s.AnswerContext(context.Background(), question)
+}
+
+// buildAnswer converts a core result into the public Answer shape.
+func (s *System) buildAnswer(res *core.Result) *Answer {
 	out := &Answer{
 		Boolean:       res.Boolean,
+		Degraded:      res.Degraded,
 		Understanding: res.Timing.Understanding,
 		Total:         res.Timing.Total,
 	}
@@ -186,7 +205,7 @@ func (s *System) Answer(question string) (*Answer, error) {
 	}
 	if res.Failure != core.FailureNone {
 		out.Failure = res.Failure.String()
-		return out, nil
+		return out
 	}
 	out.OK = res.Boolean != nil || len(res.Answers) > 0 || res.Count != nil
 	for _, id := range res.Answers {
@@ -202,28 +221,26 @@ func (s *System) Answer(question string) (*Answer, error) {
 			out.SPARQL = sq.String()
 		}
 	}
-	return out, nil
+	return out
 }
 
 // Query evaluates a SPARQL query (SELECT/ASK over basic graph patterns)
 // against the graph — the power-user path next to natural language.
+// Panics surface as *PipelineError; use QueryContext to bound the work.
 func (s *System) Query(query string) (*sparql.Result, error) {
-	return sparql.EvalString(s.graph, query)
+	return s.QueryContext(context.Background(), query)
 }
 
 // Explain answers a question and additionally renders each top match:
 // which entities and predicate paths realized the query graph — the
 // resolved disambiguation of §4.2.1.
-func (s *System) Explain(question string) (*Answer, []string, error) {
+func (s *System) Explain(question string) (ans *Answer, lines []string, err error) {
+	defer recoverPipeline("explain", question, &err)
 	res, err := s.core.Answer(question)
 	if err != nil {
 		return nil, nil, err
 	}
-	ans, err := s.Answer(question)
-	if err != nil {
-		return nil, nil, err
-	}
-	var lines []string
+	ans = s.buildAnswer(res)
 	for _, m := range res.Matches {
 		line := fmt.Sprintf("score=%.3f:", m.Score)
 		for vi, u := range m.Assignment {
@@ -268,5 +285,3 @@ func LoadSystemSnapshot(snapshot, dictionary io.Reader) (*System, error) {
 	}
 	return NewSystem(g, d, Options{}), nil
 }
-
-func writeGraph(w io.Writer, g *store.Graph) error { return SaveGraph(w, g) }

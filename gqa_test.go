@@ -91,7 +91,7 @@ func TestLoadSystemRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var graphBuf, dictBuf bytes.Buffer
-	if err := writeGraph(&graphBuf, g); err != nil {
+	if err := SaveGraph(&graphBuf, g); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.Encode(&dictBuf, g); err != nil {

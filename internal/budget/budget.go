@@ -1,0 +1,175 @@
+// Package budget implements the resource budget threaded through the
+// online answering pipeline. The top-k subgraph search (Algorithm 2/3) is
+// worst-case exponential in the query graph, and the SPARQL backtracking
+// join is no better; under serving traffic a single pathological question
+// must never wedge a goroutine. A Tracker carries a wall-clock deadline
+// (from a context.Context), a cancellation signal, and step/candidate/row
+// counters; the hot loops call the cheap counting methods and the engine
+// degrades to the best partial result found when the budget is exhausted.
+//
+// A nil *Tracker is the "no budget" tracker: every method is safe to call
+// on it and reports unlimited headroom, so budget-free runs take the exact
+// code path they took before budgets existed.
+package budget
+
+import (
+	"context"
+	"time"
+)
+
+// Reasons a budget can be exhausted, surfaced as MatchStats.Truncated,
+// sparql.Result.Truncated, and gqa.Answer.Degraded.
+const (
+	ReasonDeadline   = "deadline"   // wall-clock deadline passed
+	ReasonCanceled   = "canceled"   // context canceled by the caller
+	ReasonSteps      = "steps"      // search/join step limit hit
+	ReasonCandidates = "candidates" // candidate-expansion limit hit
+	ReasonRows       = "rows"       // SPARQL row limit hit
+)
+
+// Limits bounds one unit of work. The zero value means unlimited.
+type Limits struct {
+	// MaxSteps caps search-loop iterations: matcher extend/reachable calls
+	// and SPARQL join steps.
+	MaxSteps int64
+	// MaxCandidates caps candidate entity expansions during anchoring.
+	MaxCandidates int64
+	// MaxRows caps SPARQL result rows materialized before projection.
+	MaxRows int64
+}
+
+// Zero reports whether no limit is set.
+func (l Limits) Zero() bool {
+	return l.MaxSteps == 0 && l.MaxCandidates == 0 && l.MaxRows == 0
+}
+
+// Tracker is the per-request budget state. It is NOT safe for concurrent
+// use; every request builds its own (New is cheap).
+type Tracker struct {
+	done        <-chan struct{}
+	ctx         context.Context
+	deadline    time.Time
+	hasDeadline bool
+
+	limits Limits
+	steps  int64
+	cands  int64
+	rows   int64
+	reason string
+}
+
+// New builds a Tracker for one request. It returns nil — the unlimited
+// tracker — when ctx carries no deadline or cancellation signal and the
+// limits are zero, guaranteeing budget-free calls behave bit-identically
+// to the pre-budget engine.
+func New(ctx context.Context, l Limits) *Tracker {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if !hasDeadline && ctx.Done() == nil && l.Zero() {
+		return nil
+	}
+	return &Tracker{
+		done:        ctx.Done(),
+		ctx:         ctx,
+		deadline:    deadline,
+		hasDeadline: hasDeadline,
+		limits:      l,
+	}
+}
+
+// Step records one unit of search work and reports whether the budget
+// still has headroom. After exhaustion it keeps returning false, so deep
+// recursions unwind promptly. The deadline/cancellation poll in
+// checkSignals costs a clock read only when a deadline is actually set,
+// so pure step/candidate budgets stay a few integer ops per unit.
+func (t *Tracker) Step() bool {
+	if t == nil {
+		return true
+	}
+	if t.reason != "" {
+		return false
+	}
+	t.steps++
+	if t.limits.MaxSteps > 0 && t.steps > t.limits.MaxSteps {
+		t.reason = ReasonSteps
+		return false
+	}
+	return t.checkSignals()
+}
+
+// Candidate records one candidate entity expansion.
+func (t *Tracker) Candidate() bool {
+	if t == nil {
+		return true
+	}
+	if t.reason != "" {
+		return false
+	}
+	t.cands++
+	if t.limits.MaxCandidates > 0 && t.cands > t.limits.MaxCandidates {
+		t.reason = ReasonCandidates
+		return false
+	}
+	return t.checkSignals()
+}
+
+// Row records one materialized SPARQL row.
+func (t *Tracker) Row() bool {
+	if t == nil {
+		return true
+	}
+	if t.reason != "" {
+		return false
+	}
+	t.rows++
+	if t.limits.MaxRows > 0 && t.rows > t.limits.MaxRows {
+		t.reason = ReasonRows
+		return false
+	}
+	return t.checkSignals()
+}
+
+// Check forces an immediate deadline/cancellation poll (used at stage
+// boundaries) and returns the exhaustion reason, "" while within budget.
+func (t *Tracker) Check() string {
+	if t == nil {
+		return ""
+	}
+	if t.reason == "" {
+		t.checkSignals()
+	}
+	return t.reason
+}
+
+// Exhausted returns the recorded exhaustion reason without polling.
+func (t *Tracker) Exhausted() string {
+	if t == nil {
+		return ""
+	}
+	return t.reason
+}
+
+// Done reports whether the budget is exhausted.
+func (t *Tracker) Done() bool { return t != nil && t.reason != "" }
+
+func (t *Tracker) checkSignals() bool {
+	if t.hasDeadline && !time.Now().Before(t.deadline) {
+		t.reason = ReasonDeadline
+		return false
+	}
+	if t.done != nil {
+		select {
+		case <-t.done:
+			if t.ctx.Err() == context.DeadlineExceeded {
+				t.reason = ReasonDeadline
+			} else {
+				t.reason = ReasonCanceled
+			}
+			return false
+		default:
+		}
+	}
+	return true
+}

@@ -1,0 +1,122 @@
+package budget
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNilTrackerIsUnlimited(t *testing.T) {
+	var tr *Tracker
+	for i := 0; i < 10_000; i++ {
+		if !tr.Step() || !tr.Candidate() || !tr.Row() {
+			t.Fatal("nil tracker reported exhaustion")
+		}
+	}
+	if tr.Exhausted() != "" || tr.Check() != "" || tr.Done() {
+		t.Fatal("nil tracker not clean")
+	}
+}
+
+func TestNewReturnsNilWithoutBudget(t *testing.T) {
+	if tr := New(context.Background(), Limits{}); tr != nil {
+		t.Fatalf("expected nil tracker, got %+v", tr)
+	}
+	if tr := New(nil, Limits{}); tr != nil {
+		t.Fatalf("nil ctx + zero limits: expected nil tracker")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	tr := New(context.Background(), Limits{MaxSteps: 5})
+	for i := 0; i < 5; i++ {
+		if !tr.Step() {
+			t.Fatalf("step %d within limit reported exhaustion", i)
+		}
+	}
+	if tr.Step() {
+		t.Fatal("step beyond limit allowed")
+	}
+	if tr.Exhausted() != ReasonSteps {
+		t.Fatalf("reason = %q", tr.Exhausted())
+	}
+	// Sticky: other dimensions report exhausted too.
+	if tr.Candidate() || tr.Row() || !tr.Done() {
+		t.Fatal("exhaustion not sticky")
+	}
+}
+
+func TestCandidateLimit(t *testing.T) {
+	tr := New(context.Background(), Limits{MaxCandidates: 3})
+	for i := 0; i < 3; i++ {
+		if !tr.Candidate() {
+			t.Fatalf("candidate %d within limit", i)
+		}
+	}
+	if tr.Candidate() || tr.Exhausted() != ReasonCandidates {
+		t.Fatalf("reason = %q", tr.Exhausted())
+	}
+}
+
+func TestRowLimit(t *testing.T) {
+	tr := New(context.Background(), Limits{MaxRows: 2})
+	if !tr.Row() || !tr.Row() {
+		t.Fatal("rows within limit rejected")
+	}
+	if tr.Row() || tr.Exhausted() != ReasonRows {
+		t.Fatalf("reason = %q", tr.Exhausted())
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	tr := New(ctx, Limits{})
+	if tr == nil {
+		t.Fatal("deadline context produced nil tracker")
+	}
+	if tr.Check() != ReasonDeadline {
+		t.Fatalf("reason = %q", tr.Check())
+	}
+	if tr.Step() {
+		t.Fatal("step allowed after deadline")
+	}
+}
+
+func TestDeadlineNoticedOnFirstStep(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	tr := New(ctx, Limits{})
+	// The poll runs on every counted unit, so degradation is prompt and
+	// deterministic even for tiny searches.
+	if tr.Step() {
+		t.Fatal("expired deadline not noticed on first step")
+	}
+	if tr.Exhausted() != ReasonDeadline {
+		t.Fatalf("reason = %q", tr.Exhausted())
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tr := New(ctx, Limits{})
+	if tr == nil {
+		t.Fatal("cancellable context produced nil tracker")
+	}
+	if tr.Check() != "" {
+		t.Fatalf("premature exhaustion: %q", tr.Check())
+	}
+	cancel()
+	if tr.Check() != ReasonCanceled {
+		t.Fatalf("reason = %q", tr.Check())
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !(Limits{}).Zero() {
+		t.Fatal("zero limits not Zero")
+	}
+	if (Limits{MaxSteps: 1}).Zero() || (Limits{MaxCandidates: 1}).Zero() || (Limits{MaxRows: 1}).Zero() {
+		t.Fatal("non-zero limits reported Zero")
+	}
+}

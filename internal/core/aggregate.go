@@ -16,6 +16,7 @@ package core
 // experiments reproduce the paper's failure taxonomy.
 
 import (
+	"context"
 	"sort"
 	"strconv"
 	"strings"
@@ -45,13 +46,13 @@ func (s *System) RegisterSuperlative(adj string, pred store.ID, max bool) {
 // tryAggregate attempts the aggregation rewrites on an aggregation-flagged
 // question. It returns a completed Result, or nil when the question is not
 // rewritable (the caller then reports the paper's aggregation failure).
-func (s *System) tryAggregate(question string, y *nlp.DepTree) (*Result, error) {
+func (s *System) tryAggregate(ctx context.Context, question string, y *nlp.DepTree) (*Result, error) {
 	if !s.Opts.EnableAggregation {
 		return nil, nil
 	}
 	// Counting: "How many X did … ?" → "Which X did … ?", count answers.
 	if reduced, ok := rewriteHowMany(y); ok {
-		inner, err := s.answerNonAggregate(reduced)
+		inner, err := s.answerNonAggregate(ctx, reduced)
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +68,7 @@ func (s *System) tryAggregate(question string, y *nlp.DepTree) (*Result, error) 
 	}
 	// Superlative: strip the registered adjective, rank the base answers.
 	if adj, reduced, ok := s.rewriteSuperlative(y); ok {
-		inner, err := s.answerNonAggregate(reduced)
+		inner, err := s.answerNonAggregate(ctx, reduced)
 		if err != nil {
 			return nil, err
 		}

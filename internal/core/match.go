@@ -6,7 +6,9 @@ import (
 	"strconv"
 	"strings"
 
+	"gqa/internal/budget"
 	"gqa/internal/dict"
+	"gqa/internal/faultpoint"
 	"gqa/internal/store"
 )
 
@@ -42,6 +44,13 @@ type MatchOptions struct {
 	Exhaustive bool
 	// MaxMatches is a safety cap on enumerated matches (default 10000).
 	MaxMatches int
+	// Budget bounds the search (wall-clock deadline, cancellation, step and
+	// candidate-expansion limits). Nil means unlimited; the search then
+	// behaves bit-identically to the budget-free engine. When the budget is
+	// exhausted the search stops where it stands and harvest returns the
+	// best partial top-k found so far, with MatchStats.Truncated naming the
+	// reason.
+	Budget *budget.Tracker
 }
 
 func (o *MatchOptions) defaults() {
@@ -73,6 +82,11 @@ type MatchStats struct {
 	CandidatesCut  int // removed by neighborhood pruning
 	Rounds         int
 	EarlyStopped   bool
+	// Truncated is the budget-exhaustion reason ("deadline", "canceled",
+	// "steps", "candidates") when the search was cut short, "" for a
+	// complete search. A truncated search still returns the best partial
+	// top-k discovered before the budget ran out.
+	Truncated string
 }
 
 // FindTopKMatches runs Algorithm 3: sort candidate lists, advance cursors
@@ -120,6 +134,7 @@ func FindTopKMatches(g *store.Graph, q *QueryGraph, opts MatchOptions) ([]Match,
 		// graph vertices as the anchor for vertex 0.
 		m.enumerateUnanchored()
 		stats.AnchorsProbed = m.probes
+		stats.Truncated = opts.Budget.Exhausted()
 		return m.harvest(), stats
 	}
 
@@ -129,13 +144,16 @@ func FindTopKMatches(g *store.Graph, q *QueryGraph, opts MatchOptions) ([]Match,
 			maxLen = l
 		}
 	}
-	for round := 0; round < maxLen; round++ {
+	for round := 0; round < maxLen && !opts.Budget.Done(); round++ {
 		stats.Rounds++
 		for _, vi := range anchors {
 			if round >= len(m.cands[vi]) {
 				continue
 			}
 			m.searchFromAnchor(vi, m.cands[vi][round])
+			if opts.Budget.Done() {
+				break
+			}
 		}
 		if !opts.Exhaustive && m.thresholdReached(anchors, round) {
 			stats.EarlyStopped = true
@@ -143,6 +161,7 @@ func FindTopKMatches(g *store.Graph, q *QueryGraph, opts MatchOptions) ([]Match,
 		}
 	}
 	stats.AnchorsProbed = m.probes
+	stats.Truncated = opts.Budget.Exhausted()
 	return m.harvest(), stats
 }
 
@@ -327,6 +346,9 @@ func (m *matcher) searchFromAnchor(vi int, c VertexCandidate) {
 	}
 	n := len(m.q.Vertices)
 	for _, u := range us {
+		if !m.opts.Budget.Candidate() {
+			return
+		}
 		st := &searchState{
 			assign: make([]store.ID, n),
 			via:    make([]store.ID, n),
@@ -362,6 +384,10 @@ func (m *matcher) extend(st *searchState) {
 	if len(m.found) >= m.opts.MaxMatches {
 		return
 	}
+	faultpoint.Hit(faultpoint.MatcherExtend)
+	if !m.opts.Budget.Step() {
+		return
+	}
 	next, bridge := m.chooseNext(st)
 	if next < 0 {
 		m.finish(st)
@@ -382,6 +408,9 @@ func (m *matcher) extend(st *searchState) {
 				via = c.ID
 			}
 			for _, u := range us {
+				if !m.opts.Budget.Candidate() {
+					return
+				}
 				if m.used(st, u) {
 					continue
 				}
@@ -443,6 +472,9 @@ func (m *matcher) chooseNext(st *searchState) (vertex, bridge int) {
 // orientation (Definition 3 condition 3). reversed means u sits at the
 // edge's To side, so the recorded path is read backwards first.
 func (m *matcher) reachable(u store.ID, p dict.Path, reversed bool) []store.ID {
+	if !m.opts.Budget.Step() {
+		return nil
+	}
 	a := p
 	b := p.Reverse()
 	if reversed {
@@ -561,6 +593,9 @@ func (m *matcher) enumerateUnanchored() {
 		u := store.ID(v)
 		if !m.g.Term(u).IsIRI() || m.g.Degree(u) == 0 {
 			continue
+		}
+		if !m.opts.Budget.Candidate() {
+			return
 		}
 		st := &searchState{
 			assign: make([]store.ID, n),

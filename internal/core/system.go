@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"strings"
 	"time"
 
+	"gqa/internal/budget"
 	"gqa/internal/dict"
 	"gqa/internal/linker"
 	"gqa/internal/nlp"
@@ -40,6 +42,11 @@ type Options struct {
 	// paper's future work; see aggregate.go). Off by default so the
 	// failure taxonomy of Table 10 reproduces.
 	EnableAggregation bool
+	// Budget bounds every AnswerContext call (step/candidate limits; the
+	// wall-clock deadline rides on the context). The zero value plus a
+	// plain Background context means no budget at all: the engine then
+	// runs the exact pre-budget code path.
+	Budget budget.Limits
 }
 
 // NewSystem builds a System over a loaded graph and mined dictionary.
@@ -115,6 +122,10 @@ type Result struct {
 	Failure    FailureKind
 	Timing     Timing
 	Stats      MatchStats
+	// Degraded is the budget-exhaustion reason ("deadline", "canceled",
+	// "steps", "candidates") when the pipeline was cut short and the
+	// result holds the best partial answers found in time; "" otherwise.
+	Degraded string
 }
 
 // AnswerLabels renders the answers with the graph's labels.
@@ -127,11 +138,22 @@ func (r *Result) AnswerLabels(g *store.Graph) []string {
 }
 
 // Answer runs the full online pipeline of §4 on one natural-language
-// question.
+// question with no budget.
 func (s *System) Answer(question string) (*Result, error) {
+	return s.AnswerContext(context.Background(), question)
+}
+
+// AnswerContext runs the full online pipeline of §4 on one natural-language
+// question under ctx and the system's budget limits. When the budget runs
+// out mid-search the pipeline degrades instead of hanging: the Result
+// carries the best partial top-k found so far and Degraded names the
+// exhausted resource. With a Background context and zero limits the
+// behavior is bit-identical to Answer before budgets existed.
+func (s *System) AnswerContext(ctx context.Context, question string) (*Result, error) {
 	if strings.TrimSpace(question) == "" {
 		return nil, errors.New("core: empty question")
 	}
+	tr := budget.New(ctx, s.Opts.Budget)
 	res := &Result{Question: question}
 	start := time.Now()
 
@@ -144,7 +166,7 @@ func (s *System) Answer(question string) (*Result, error) {
 	res.Timing.Parse = time.Since(start)
 
 	if s.isAggregation(y) {
-		if agg, err := s.tryAggregate(question, y); err != nil {
+		if agg, err := s.tryAggregate(ctx, question, y); err != nil {
 			return nil, err
 		} else if agg != nil {
 			return agg, nil
@@ -185,15 +207,19 @@ func (s *System) Answer(question string) (*Result, error) {
 		}
 	}
 
-	// ---- Stage 2: query evaluation (§4.2).
+	// ---- Stage 2: query evaluation (§4.2). A deadline that expired during
+	// understanding is caught here, before the expensive search starts.
+	tr.Check()
 	evalStart := time.Now()
 	matches, stats := FindTopKMatches(s.Graph, res.Query, MatchOptions{
 		TopK:           s.Opts.TopK,
 		DisablePruning: s.Opts.DisablePruning,
 		Exhaustive:     s.Opts.Exhaustive,
+		Budget:         tr,
 	})
 	res.Matches = matches
 	res.Stats = stats
+	res.Degraded = stats.Truncated
 	res.Timing.Evaluation = time.Since(evalStart)
 	res.Timing.Total = time.Since(start)
 
@@ -228,10 +254,10 @@ func (s *System) Answer(question string) (*Result, error) {
 
 // answerNonAggregate runs the base pipeline on a rewritten question with
 // the aggregation extension suppressed, preventing rewrite loops.
-func (s *System) answerNonAggregate(question string) (*Result, error) {
+func (s *System) answerNonAggregate(ctx context.Context, question string) (*Result, error) {
 	s2 := *s
 	s2.Opts.EnableAggregation = false
-	return s2.Answer(question)
+	return s2.AnswerContext(ctx, question)
 }
 
 // isAggregation detects questions outside the approach's reach: counting
@@ -272,7 +298,7 @@ func (s *System) typeOnlyQuery(y *nlp.DepTree) *QueryGraph {
 		return nil
 	}
 	arg := makeArgument(y, focus)
-	cands := s.Linker.Link(arg.Text, maxInt(s.Opts.MaxVertexCandidates, 10))
+	cands := s.Linker.Link(arg.Text, max(s.Opts.MaxVertexCandidates, 10))
 	var vcs []VertexCandidate
 	for _, c := range cands {
 		if c.IsClass {
@@ -289,11 +315,4 @@ func (s *System) typeOnlyQuery(y *nlp.DepTree) *QueryGraph {
 	vcs = vcs[:1]
 	q := &QueryGraph{Vertices: []Vertex{{Arg: arg, Candidates: vcs, Select: true}}}
 	return q
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,64 @@
+package faultpoint
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Reset()
+	Hit("anything") // must not panic, sleep, or allocate state
+	if Hits("anything") != 0 {
+		t.Fatal("disarmed point recorded a hit")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	Reset()
+	defer Reset()
+	Set(MatcherExtend, Fault{Delay: 5 * time.Millisecond})
+	start := time.Now()
+	Hit(MatcherExtend)
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("delay not applied: %v", elapsed)
+	}
+	if Hits(MatcherExtend) != 1 {
+		t.Fatalf("hits = %d", Hits(MatcherExtend))
+	}
+}
+
+func TestPanicCarriesName(t *testing.T) {
+	Reset()
+	defer Reset()
+	Set(SparqlEval, Fault{PanicMsg: "boom"})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, SparqlEval) || !strings.Contains(msg, "boom") {
+			t.Fatalf("panic value = %v", r)
+		}
+	}()
+	Hit(SparqlEval)
+}
+
+func TestClearDisarms(t *testing.T) {
+	Reset()
+	defer Reset()
+	Set(StoreMatch, Fault{PanicMsg: "boom"})
+	Clear(StoreMatch)
+	Hit(StoreMatch) // must not panic
+}
+
+func TestUnarmedPointUntouchedWhileAnotherArmed(t *testing.T) {
+	Reset()
+	defer Reset()
+	Set(StoreMatch, Fault{PanicMsg: "boom"})
+	Hit(MatcherExtend) // different name: no panic
+	if Hits(MatcherExtend) != 0 {
+		t.Fatal("unarmed point recorded a hit")
+	}
+}

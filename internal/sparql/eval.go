@@ -1,11 +1,14 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
+	"gqa/internal/budget"
+	"gqa/internal/faultpoint"
 	"gqa/internal/rdf"
 	"gqa/internal/store"
 )
@@ -19,11 +22,29 @@ type Result struct {
 	Vars    []string // projected variables in order
 	Rows    []Row    // SELECT solutions
 	Boolean bool     // ASK outcome
+	// Truncated is the budget-exhaustion reason ("deadline", "canceled",
+	// "steps", "rows") when the join was cut short and Rows holds only the
+	// solutions found in time; "" for a complete evaluation.
+	Truncated string
 }
 
 // Eval evaluates a parsed query against the graph by backtracking join
-// over the basic graph pattern, most-selective pattern first.
+// over the basic graph pattern, most-selective pattern first, with no
+// budget.
 func Eval(g *store.Graph, q *Query) (*Result, error) {
+	return evalTracked(g, q, nil)
+}
+
+// EvalContext evaluates q under ctx and the given limits. An exhausted
+// budget stops the backtracking join where it stands; the partial rows
+// found so far are still filtered, ordered, and projected, and
+// Result.Truncated names the exhausted resource. A Background context with
+// zero limits is exactly Eval.
+func EvalContext(ctx context.Context, g *store.Graph, q *Query, l budget.Limits) (*Result, error) {
+	return evalTracked(g, q, budget.New(ctx, l))
+}
+
+func evalTracked(g *store.Graph, q *Query, tr *budget.Tracker) (*Result, error) {
 	res := &Result{Kind: q.Kind, Vars: q.Vars}
 	if len(res.Vars) == 0 {
 		res.Vars = q.AllVars()
@@ -50,7 +71,14 @@ func Eval(g *store.Graph, q *Query) (*Result, error) {
 	var rows []map[string]store.ID
 	var walk func(step int) bool // returns true to stop
 	walk = func(step int) bool {
+		faultpoint.Hit(faultpoint.SparqlEval)
+		if !tr.Step() {
+			return true
+		}
 		if step == len(order) {
+			if !tr.Row() {
+				return true
+			}
 			cp := make(map[string]store.ID, len(binding))
 			for k, v := range binding {
 				cp[k] = v
@@ -98,6 +126,7 @@ func Eval(g *store.Graph, q *Query) (*Result, error) {
 		return stop
 	}
 	walk(0)
+	res.Truncated = tr.Exhausted()
 
 	// FILTER constraints on the complete bindings.
 	if len(q.Filters) > 0 {

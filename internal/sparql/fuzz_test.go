@@ -1,6 +1,13 @@
 package sparql
 
-import "testing"
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"gqa/internal/budget"
+	"gqa/internal/store"
+)
 
 // FuzzParseSPARQL: the parser must never panic; successful parses must
 // render to text that reparses to the same rendering (printing fixed
@@ -11,6 +18,19 @@ func FuzzParseSPARQL(f *testing.F) {
 	f.Add(`ASK { dbr:A dbo:p dbr:B }`)
 	f.Add(`PREFIX e: <http://e/> SELECT * WHERE { e:a e:b "lit"@en }`)
 	f.Add(`garbage {{{`)
+	// FILTER shapes: numeric comparisons, chained filters, filter on an
+	// unprojected variable.
+	f.Add(`SELECT ?x WHERE { ?x dbo:age ?a . FILTER(?a > 30) FILTER(?a < 90) }`)
+	f.Add(`SELECT ?x WHERE { ?x dbo:p ?y . FILTER(?y >= "10") }`)
+	f.Add(`ASK { ?x dbo:p ?y . FILTER(?x = ?y) }`)
+	// DISTINCT interacting with LIMIT/OFFSET and multi-var projection.
+	f.Add(`SELECT DISTINCT ?x ?y WHERE { ?x ?p ?y } LIMIT 2 OFFSET 1`)
+	f.Add(`SELECT DISTINCT ?p WHERE { ?s ?p ?o } ORDER BY ?p`)
+	// Malformed IRIs: unterminated, embedded spaces, empty, bad escapes.
+	f.Add(`SELECT ?x WHERE { <http://unterminated ?x ?y }`)
+	f.Add(`SELECT ?x WHERE { <ht tp://spaced iri> dbo:p ?x }`)
+	f.Add(`ASK { <> <p> <o> }`)
+	f.Add(`SELECT ?x WHERE { <http://e/\u00> dbo:p ?x }`)
 	f.Fuzz(func(t *testing.T, src string) {
 		q, err := Parse(src)
 		if err != nil {
@@ -23,6 +43,65 @@ func FuzzParseSPARQL(f *testing.F) {
 		}
 		if q2.String() != rendered {
 			t.Fatalf("unstable rendering:\n%s\n%s", rendered, q2.String())
+		}
+	})
+}
+
+// fuzzGraph is a small fixed graph for evaluator fuzzing: a few entities,
+// a type edge, numeric literals for FILTER comparisons.
+func fuzzGraph(tb testing.TB) *store.Graph {
+	g := store.New()
+	const nt = `<http://e/a> <http://e/p> <http://e/b> .
+<http://e/b> <http://e/p> <http://e/c> .
+<http://e/c> <http://e/p> <http://e/a> .
+<http://e/a> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/T> .
+<http://e/b> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/T> .
+<http://e/a> <http://e/age> "42" .
+<http://e/b> <http://e/age> "7" .
+`
+	if err := g.Load(strings.NewReader(nt)); err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// FuzzEvalBudget drives the budget-limited evaluation path: for any query
+// that parses, EvalContext under arbitrary small step/row limits must not
+// panic, must report only known truncation reasons, and — when it reports
+// no truncation — must return exactly the unbudgeted result.
+func FuzzEvalBudget(f *testing.F) {
+	f.Add(`SELECT ?x WHERE { ?x ?p ?o }`, int64(4), int64(2))
+	f.Add(`SELECT DISTINCT ?x ?y WHERE { ?x <http://e/p> ?y . ?y <http://e/p> ?z }`, int64(100), int64(1))
+	f.Add(`SELECT ?x WHERE { ?x <http://e/age> ?a . FILTER(?a > 10) }`, int64(0), int64(0))
+	f.Add(`ASK { ?x <http://e/p> ?x }`, int64(1), int64(1))
+	g := fuzzGraph(f)
+	f.Fuzz(func(t *testing.T, src string, maxSteps, maxRows int64) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if maxSteps < 0 || maxRows < 0 {
+			return
+		}
+		l := budget.Limits{MaxSteps: maxSteps % 64, MaxRows: maxRows % 8}
+		res, err := EvalContext(context.Background(), g, q, l)
+		if err != nil {
+			return // semantic errors (unused projected var) are fine
+		}
+		switch res.Truncated {
+		case "", budget.ReasonSteps, budget.ReasonRows:
+		default:
+			t.Fatalf("unexpected truncation reason %q", res.Truncated)
+		}
+		if res.Truncated == "" {
+			full, err := Eval(g, q)
+			if err != nil {
+				t.Fatalf("unbudgeted eval failed after budgeted succeeded: %v", err)
+			}
+			if len(full.Rows) != len(res.Rows) || full.Boolean != res.Boolean {
+				t.Fatalf("untruncated budgeted result differs: %d/%v rows vs %d/%v",
+					len(res.Rows), res.Boolean, len(full.Rows), full.Boolean)
+			}
 		}
 	})
 }

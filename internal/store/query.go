@@ -4,6 +4,8 @@ package store
 // graph patterns against the store through Match, which dispatches on which
 // positions are bound. Wildcard positions use the sentinel Any.
 
+import "gqa/internal/faultpoint"
+
 // Any is the wildcard for Match.
 const Any ID = None
 
@@ -17,6 +19,7 @@ const Any ID = None
 //	bound p only → scan the predicate-major index
 //	none bound   → scan everything
 func (g *Graph) Match(s, p, o ID, fn func(Spo) bool) {
+	faultpoint.Hit(faultpoint.StoreMatch)
 	switch {
 	case s != Any && p != Any && o != Any:
 		if g.Has(s, p, o) {

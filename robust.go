@@ -1,0 +1,119 @@
+package gqa
+
+// Robustness layer of the facade: per-question budgets, context-aware
+// entry points, and panic containment. A serving deployment answers
+// questions from untrusted users, and the top-k subgraph search is
+// worst-case exponential in the query graph — one pathological question
+// must never wedge a goroutine or take down the process. AnswerContext
+// and QueryContext honor context deadlines/cancellation plus the step,
+// candidate, and row limits in Options.Budget, degrade to the best
+// partial result found in time (Answer.Degraded / Result.Truncated name
+// the exhausted resource), and convert pipeline panics into structured
+// *PipelineError values instead of crashing.
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"gqa/internal/budget"
+	"gqa/internal/sparql"
+)
+
+// Budget bounds the resources one question (or SPARQL query) may consume.
+// The zero value means unlimited everywhere; the engine then behaves
+// bit-identically to the budget-free pipeline.
+type Budget struct {
+	// Timeout is the wall-clock budget per call. AnswerContext and
+	// QueryContext additionally honor any deadline or cancellation on the
+	// caller's context; whichever is tighter wins. Zero means no timeout.
+	Timeout time.Duration
+	// MaxSearchSteps caps subgraph-search extensions (and SPARQL join
+	// steps): the unit of work of Algorithm 2/3's exploration.
+	MaxSearchSteps int64
+	// MaxCandidates caps candidate entity expansions during anchored
+	// search (a class anchor can expand to tens of thousands of seeds).
+	MaxCandidates int64
+	// MaxSPARQLRows caps rows materialized by the SPARQL join before
+	// projection.
+	MaxSPARQLRows int64
+}
+
+// limits converts the facade budget to the internal form (the wall-clock
+// part rides on the context instead).
+func (b Budget) limits() budget.Limits {
+	return budget.Limits{
+		MaxSteps:      b.MaxSearchSteps,
+		MaxCandidates: b.MaxCandidates,
+		MaxRows:       b.MaxSPARQLRows,
+	}
+}
+
+// PipelineError is a panic from the answering pipeline converted into a
+// structured error: the input that triggered it, the stage it escaped
+// from, the panic value, and the stack. The engine never lets a
+// pathological question crash the process; it returns one of these.
+type PipelineError struct {
+	// Input is the question (stage "answer"/"explain") or the SPARQL
+	// source (stage "query") being processed when the panic fired.
+	Input string
+	// Stage is "answer", "explain", or "query".
+	Stage string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PipelineError) Error() string {
+	return fmt.Sprintf("gqa: panic in %s pipeline for %q: %v", e.Stage, e.Input, e.Value)
+}
+
+// recoverPipeline converts an in-flight panic into a *PipelineError
+// assigned to *err. Deferred by every facade entry point.
+func recoverPipeline(stage, input string, err *error) {
+	if r := recover(); r != nil {
+		*err = &PipelineError{Input: input, Stage: stage, Value: r, Stack: debug.Stack()}
+	}
+}
+
+// withTimeout layers the budget's wall-clock timeout onto ctx.
+func (s *System) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.budget.Timeout > 0 {
+		return context.WithTimeout(ctx, s.budget.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// AnswerContext answers a natural-language question under ctx and the
+// system's Budget. When the budget runs out mid-search, the call returns
+// promptly with the best partial top-k found so far and Answer.Degraded
+// set to the exhausted resource ("deadline", "canceled", "steps",
+// "candidates"); a panic anywhere in the pipeline surfaces as a
+// *PipelineError. With a Background context and a zero Budget the results
+// are identical to Answer's.
+func (s *System) AnswerContext(ctx context.Context, question string) (ans *Answer, err error) {
+	defer recoverPipeline("answer", question, &err)
+	ctx, cancel := s.withTimeout(ctx)
+	defer cancel()
+	res, err := s.core.AnswerContext(ctx, question)
+	if err != nil {
+		return nil, err
+	}
+	return s.buildAnswer(res), nil
+}
+
+// QueryContext evaluates a SPARQL query under ctx and the system's
+// Budget. An exhausted budget yields the rows found so far with
+// Result.Truncated set; panics surface as *PipelineError.
+func (s *System) QueryContext(ctx context.Context, query string) (res *sparql.Result, err error) {
+	defer recoverPipeline("query", query, &err)
+	ctx, cancel := s.withTimeout(ctx)
+	defer cancel()
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return sparql.EvalContext(ctx, s.graph, q, s.budget.limits())
+}
