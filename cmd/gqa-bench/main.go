@@ -15,9 +15,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"runtime"
 	"sort"
 	"time"
 
@@ -27,11 +30,14 @@ import (
 	"gqa/internal/dict"
 	"gqa/internal/eval"
 	"gqa/internal/nlp"
+	"gqa/internal/rdf"
 	"gqa/internal/store"
 )
 
+var parallelJSON = flag.String("json", "", "write the parallel experiment's speedup table as JSON to this path (e.g. BENCH_parallel.json)")
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table4..table12, exp1, fig6, ablations, all)")
+	exp := flag.String("exp", "all", "experiment id (table4..table12, exp1, fig6, ablations, parallel, all)")
 	flag.Parse()
 
 	experiments := []struct {
@@ -51,6 +57,7 @@ func main() {
 		{"table11", table11, "response time of correctly answered questions"},
 		{"table12", table12, "complexity validation (understanding-stage scaling)"},
 		{"ablations", ablations, "design-choice ablations"},
+		{"parallel", parallelExp, "seq-vs-par top-k matcher speedup"},
 		{"aggext", aggext, "aggregation extension (future work): Table 8/10 deltas"},
 		{"yago2", yago2, "the omitted YAGO2 evaluation (§6: reported for DBpedia only)"},
 	}
@@ -436,6 +443,114 @@ func yago2() {
 			mark = "✘"
 		}
 		fmt.Printf("  %s %-4s %s\n", mark, r.Question.ID, r.Question.Text)
+	}
+}
+
+// ----------------------------------------------------------------- parallel
+
+// parallelExp compares the sequential top-k subgraph search to the worker
+// pool at increasing widths on a synthetic workload heavy enough for the
+// fan-out to matter: one class anchor whose instances each explore
+// ~fanout² two-step routes. Parallel results are verified identical to
+// the sequential baseline before timing. With -json PATH the speedup
+// table is also written as JSON (the BENCH_parallel.json artifact).
+func parallelExp() {
+	const (
+		nInst  = 400
+		fanout = 40
+		reps   = 5
+	)
+	g := store.New()
+	typ := g.Intern(rdf.NewIRI(rdf.RDFType))
+	class := g.Intern(rdf.Ontology("Thing"))
+	p1 := g.Intern(rdf.Ontology("p1"))
+	p2 := g.Intern(rdf.Ontology("p2"))
+	nMid, nLeaf := 200, 10
+	mids := make([]store.ID, nMid)
+	for i := range mids {
+		mids[i] = g.Intern(rdf.Resource(fmt.Sprintf("m%d", i)))
+	}
+	leaves := make([]store.ID, nLeaf)
+	for i := range leaves {
+		leaves[i] = g.Intern(rdf.Resource(fmt.Sprintf("l%d", i)))
+	}
+	for j := 0; j < nMid; j++ {
+		for k := 0; k < fanout; k++ {
+			g.AddSPO(mids[j], p2, leaves[(j*7+k)%nLeaf])
+		}
+	}
+	for i := 0; i < nInst; i++ {
+		inst := g.Intern(rdf.Resource(fmt.Sprintf("i%d", i)))
+		g.AddSPO(inst, typ, class)
+		for k := 0; k < fanout; k++ {
+			g.AddSPO(inst, p1, mids[(i*13+k*3)%nMid])
+		}
+	}
+	path := dict.Path{{Pred: p1, Forward: true}, {Pred: p2, Forward: true}}
+	phrase := dict.New().Add("linked to", []dict.Entry{{Path: path, Score: 0.8}})
+	q := &core.QueryGraph{
+		Vertices: []core.Vertex{
+			{Arg: core.Argument{Text: "what", Wh: true}, Unconstrained: true, Select: true},
+			{Arg: core.Argument{Text: "thing"}, Candidates: []core.VertexCandidate{
+				{ID: class, IsClass: true, Score: 0.9},
+			}},
+		},
+		Edges: []core.Edge{{From: 1, To: 0, Phrase: phrase,
+			Candidates: []core.EdgeCandidate{{Path: path, Score: 0.8}}}},
+	}
+
+	type run struct {
+		Parallelism int     `json:"parallelism"`
+		NsPerOp     int64   `json:"ns_per_op"`
+		Speedup     float64 `json:"speedup"`
+		Identical   bool    `json:"identical_to_sequential"`
+	}
+	report := struct {
+		GOMAXPROCS int   `json:"gomaxprocs"`
+		NumCPU     int   `json:"num_cpu"`
+		Seeds      int   `json:"seed_tasks"`
+		Runs       []run `json:"runs"`
+	}{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Seeds: nInst}
+
+	baseline, _ := core.FindTopKMatches(g, q, core.MatchOptions{TopK: 10, Parallelism: 1})
+	var seqNs int64
+	fmt.Printf("GOMAXPROCS=%d NumCPU=%d — %d seed tasks per search\n",
+		report.GOMAXPROCS, report.NumCPU, nInst)
+	fmt.Println("parallelism  time/op      speedup  identical")
+	for _, p := range []int{1, 2, 4, 8} {
+		matches, _ := core.FindTopKMatches(g, q, core.MatchOptions{TopK: 10, Parallelism: p})
+		identical := reflect.DeepEqual(matches, baseline)
+		best := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			core.FindTopKMatches(g, q, core.MatchOptions{TopK: 10, Parallelism: p})
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		if p == 1 {
+			seqNs = best.Nanoseconds()
+		}
+		speedup := float64(seqNs) / float64(best.Nanoseconds())
+		report.Runs = append(report.Runs, run{
+			Parallelism: p, NsPerOp: best.Nanoseconds(), Speedup: speedup, Identical: identical,
+		})
+		fmt.Printf("%-12d %-12s %6.2f×  %v\n", p, best.Round(time.Microsecond), speedup, identical)
+	}
+	if report.NumCPU == 1 {
+		fmt.Println("note: single-CPU host — speedup is bounded at ~1×; run on a multicore machine to see the pool scale")
+	}
+	if *parallelJSON != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gqa-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*parallelJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "gqa-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *parallelJSON)
 	}
 }
 

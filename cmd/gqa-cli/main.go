@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gqa-cli [-graph graph.nt -dict dict.tsv] [-explain] [question ...]
+//	gqa-cli [-graph graph.nt -dict dict.tsv] [-explain] [-parallel N] [question ...]
 //
 // Without -graph/-dict it runs over the bundled mini-DBpedia benchmark
 // knowledge base with a freshly mined paraphrase dictionary. Questions
@@ -13,6 +13,9 @@
 // -timeout bounds each question's wall-clock time; when it expires the
 // engine returns the best partial answer found so far, flagged
 // "degraded: deadline".
+//
+// -parallel sets the matcher's worker count per question (0 = GOMAXPROCS,
+// 1 = the sequential search). Answers are byte-identical at every setting.
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 	explain := flag.Bool("explain", false, "show the top matches behind each answer")
 	aggregate := flag.Bool("aggregate", false, "enable the counting/superlative extension")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per question (0 = unlimited), e.g. 500ms")
+	parallel := flag.Int("parallel", 0, "matcher worker goroutines per question (0 = GOMAXPROCS, 1 = sequential); answers are identical at every setting")
 	flag.Parse()
 
 	sys, err := buildSystem(*graphPath, *dictPath, *aggregate)
@@ -40,6 +44,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gqa-cli:", err)
 		os.Exit(1)
 	}
+	sys.SetParallelism(*parallel)
 
 	if flag.NArg() > 0 {
 		for _, q := range flag.Args() {

@@ -57,6 +57,11 @@ type Options struct {
 	// paper's future work). Superlative adjectives are interpreted via
 	// RegisterSuperlative.
 	EnableAggregation bool
+	// Parallelism is the number of worker goroutines the top-k subgraph
+	// search may use per question. Zero means GOMAXPROCS; one forces the
+	// sequential search. Answers are identical at every setting — parallel
+	// output is canonically ordered to be byte-identical to sequential.
+	Parallelism int
 	// Budget bounds the resources each Answer/Query call may consume
 	// (wall-clock timeout, search steps, candidate expansions, SPARQL
 	// rows). The zero value means unlimited — identical behavior to an
@@ -88,6 +93,7 @@ func NewSystem(g *store.Graph, d *dict.Dictionary, opts Options) *System {
 			MaxVertexCandidates:   opts.MaxCandidates,
 			DisableHeuristicRules: opts.DisableHeuristicRules,
 			EnableAggregation:     opts.EnableAggregation,
+			Parallelism:           opts.Parallelism,
 			Budget:                opts.Budget.limits(),
 		}),
 	}
@@ -95,6 +101,10 @@ func NewSystem(g *store.Graph, d *dict.Dictionary, opts Options) *System {
 
 // SetAggregation toggles the counting/superlative extension at runtime.
 func (s *System) SetAggregation(on bool) { s.core.Opts.EnableAggregation = on }
+
+// SetParallelism adjusts the matcher worker count at runtime (see
+// Options.Parallelism). Not safe to call concurrently with Answer.
+func (s *System) SetParallelism(p int) { s.core.Opts.Parallelism = p }
 
 // RegisterSuperlative teaches the aggregation extension how to interpret a
 // superlative adjective: rank candidate answers by the numeric object of

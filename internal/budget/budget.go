@@ -10,10 +10,18 @@
 // A nil *Tracker is the "no budget" tracker: every method is safe to call
 // on it and reports unlimited headroom, so budget-free runs take the exact
 // code path they took before budgets existed.
+//
+// A Tracker is safe for concurrent use: the parallel matcher shares one
+// Tracker across its worker pool, so the counters are atomics and
+// accounting stays exact — every unit of work performed is counted exactly
+// once, and with MaxSteps = n exactly n Step calls succeed regardless of
+// how many goroutines race on them. Exhaustion is sticky and propagates to
+// every worker on its next counting call.
 package budget
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,6 +33,15 @@ const (
 	ReasonSteps      = "steps"      // search/join step limit hit
 	ReasonCandidates = "candidates" // candidate-expansion limit hit
 	ReasonRows       = "rows"       // SPARQL row limit hit
+)
+
+// Interned reason values so exhaustion never allocates on the hot path.
+var (
+	reasonDeadline   = ReasonDeadline
+	reasonCanceled   = ReasonCanceled
+	reasonSteps      = ReasonSteps
+	reasonCandidates = ReasonCandidates
+	reasonRows       = ReasonRows
 )
 
 // Limits bounds one unit of work. The zero value means unlimited.
@@ -43,8 +60,8 @@ func (l Limits) Zero() bool {
 	return l.MaxSteps == 0 && l.MaxCandidates == 0 && l.MaxRows == 0
 }
 
-// Tracker is the per-request budget state. It is NOT safe for concurrent
-// use; every request builds its own (New is cheap).
+// Tracker is the per-request budget state, shared by every goroutine
+// working on the request (New is cheap; build one per request).
 type Tracker struct {
 	done        <-chan struct{}
 	ctx         context.Context
@@ -52,10 +69,13 @@ type Tracker struct {
 	hasDeadline bool
 
 	limits Limits
-	steps  int64
-	cands  int64
-	rows   int64
-	reason string
+	steps  atomic.Int64
+	cands  atomic.Int64
+	rows   atomic.Int64
+	// reason points at one of the interned Reason* strings once exhausted;
+	// the first exhaustion wins (CompareAndSwap) so concurrent workers
+	// agree on a single reason.
+	reason atomic.Pointer[string]
 }
 
 // New builds a Tracker for one request. It returns nil — the unlimited
@@ -79,21 +99,25 @@ func New(ctx context.Context, l Limits) *Tracker {
 	}
 }
 
+// fail records the exhaustion reason; the first caller wins.
+func (t *Tracker) fail(reason *string) {
+	t.reason.CompareAndSwap(nil, reason)
+}
+
 // Step records one unit of search work and reports whether the budget
 // still has headroom. After exhaustion it keeps returning false, so deep
 // recursions unwind promptly. The deadline/cancellation poll in
 // checkSignals costs a clock read only when a deadline is actually set,
-// so pure step/candidate budgets stay a few integer ops per unit.
+// so pure step/candidate budgets stay a few atomic ops per unit.
 func (t *Tracker) Step() bool {
 	if t == nil {
 		return true
 	}
-	if t.reason != "" {
+	if t.reason.Load() != nil {
 		return false
 	}
-	t.steps++
-	if t.limits.MaxSteps > 0 && t.steps > t.limits.MaxSteps {
-		t.reason = ReasonSteps
+	if n := t.steps.Add(1); t.limits.MaxSteps > 0 && n > t.limits.MaxSteps {
+		t.fail(&reasonSteps)
 		return false
 	}
 	return t.checkSignals()
@@ -104,12 +128,11 @@ func (t *Tracker) Candidate() bool {
 	if t == nil {
 		return true
 	}
-	if t.reason != "" {
+	if t.reason.Load() != nil {
 		return false
 	}
-	t.cands++
-	if t.limits.MaxCandidates > 0 && t.cands > t.limits.MaxCandidates {
-		t.reason = ReasonCandidates
+	if n := t.cands.Add(1); t.limits.MaxCandidates > 0 && n > t.limits.MaxCandidates {
+		t.fail(&reasonCandidates)
 		return false
 	}
 	return t.checkSignals()
@@ -120,12 +143,11 @@ func (t *Tracker) Row() bool {
 	if t == nil {
 		return true
 	}
-	if t.reason != "" {
+	if t.reason.Load() != nil {
 		return false
 	}
-	t.rows++
-	if t.limits.MaxRows > 0 && t.rows > t.limits.MaxRows {
-		t.reason = ReasonRows
+	if n := t.rows.Add(1); t.limits.MaxRows > 0 && n > t.limits.MaxRows {
+		t.fail(&reasonRows)
 		return false
 	}
 	return t.checkSignals()
@@ -137,10 +159,10 @@ func (t *Tracker) Check() string {
 	if t == nil {
 		return ""
 	}
-	if t.reason == "" {
+	if t.reason.Load() == nil {
 		t.checkSignals()
 	}
-	return t.reason
+	return t.Exhausted()
 }
 
 // Exhausted returns the recorded exhaustion reason without polling.
@@ -148,24 +170,27 @@ func (t *Tracker) Exhausted() string {
 	if t == nil {
 		return ""
 	}
-	return t.reason
+	if r := t.reason.Load(); r != nil {
+		return *r
+	}
+	return ""
 }
 
 // Done reports whether the budget is exhausted.
-func (t *Tracker) Done() bool { return t != nil && t.reason != "" }
+func (t *Tracker) Done() bool { return t != nil && t.reason.Load() != nil }
 
 func (t *Tracker) checkSignals() bool {
 	if t.hasDeadline && !time.Now().Before(t.deadline) {
-		t.reason = ReasonDeadline
+		t.fail(&reasonDeadline)
 		return false
 	}
 	if t.done != nil {
 		select {
 		case <-t.done:
 			if t.ctx.Err() == context.DeadlineExceeded {
-				t.reason = ReasonDeadline
+				t.fail(&reasonDeadline)
 			} else {
-				t.reason = ReasonCanceled
+				t.fail(&reasonCanceled)
 			}
 			return false
 		default:

@@ -2,6 +2,8 @@ package budget
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -118,5 +120,71 @@ func TestZero(t *testing.T) {
 	}
 	if (Limits{MaxSteps: 1}).Zero() || (Limits{MaxCandidates: 1}).Zero() || (Limits{MaxRows: 1}).Zero() {
 		t.Fatal("non-zero limits reported Zero")
+	}
+}
+
+// TestConcurrentStepAccountingExact: the parallel matcher shares one
+// Tracker across its worker pool, so budget enforcement must stay exact
+// under concurrency — with MaxSteps = n, exactly n Step calls succeed no
+// matter how many goroutines race on the counter. Run under -race in CI.
+func TestConcurrentStepAccountingExact(t *testing.T) {
+	const (
+		workers  = 8
+		perW     = 5000
+		maxSteps = 12345
+	)
+	tr := New(context.Background(), Limits{MaxSteps: maxSteps})
+	var allowed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if tr.Step() {
+					allowed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := allowed.Load(); got != maxSteps {
+		t.Fatalf("allowed %d steps, want exactly %d", got, maxSteps)
+	}
+	if tr.Exhausted() != ReasonSteps {
+		t.Fatalf("reason = %q", tr.Exhausted())
+	}
+}
+
+// TestConcurrentMixedCountersSingleReason: racing exhaustion across
+// dimensions records exactly one sticky reason (first CAS wins), and every
+// worker observes Done afterwards.
+func TestConcurrentMixedCountersSingleReason(t *testing.T) {
+	tr := New(context.Background(), Limits{MaxSteps: 100, MaxCandidates: 100, MaxRows: 100})
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch w % 3 {
+				case 0:
+					tr.Step()
+				case 1:
+					tr.Candidate()
+				default:
+					tr.Row()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	switch tr.Exhausted() {
+	case ReasonSteps, ReasonCandidates, ReasonRows:
+	default:
+		t.Fatalf("reason = %q", tr.Exhausted())
+	}
+	if !tr.Done() {
+		t.Fatal("tracker not done after exhaustion")
 	}
 }

@@ -1,10 +1,15 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"gqa/internal/budget"
 	"gqa/internal/dict"
@@ -44,12 +49,21 @@ type MatchOptions struct {
 	Exhaustive bool
 	// MaxMatches is a safety cap on enumerated matches (default 10000).
 	MaxMatches int
+	// Parallelism is the number of worker goroutines the anchored search
+	// may use. Anchor-rooted exploration is independent per seed entity, so
+	// the search fans the seeds of each TA round across a bounded pool and
+	// joins before the stopping rule runs. Zero means GOMAXPROCS; one runs
+	// the exact sequential search inline. Results are identical at every
+	// parallelism level for a non-truncated search: the final canonical
+	// order (descending score, then match key) hides scheduling.
+	Parallelism int
 	// Budget bounds the search (wall-clock deadline, cancellation, step and
 	// candidate-expansion limits). Nil means unlimited; the search then
 	// behaves bit-identically to the budget-free engine. When the budget is
 	// exhausted the search stops where it stands and harvest returns the
 	// best partial top-k found so far, with MatchStats.Truncated naming the
-	// reason.
+	// reason. The Tracker is shared by all workers (its counters are
+	// atomic), so enforcement stays exact under concurrency.
 	Budget *budget.Tracker
 }
 
@@ -60,19 +74,29 @@ func (o *MatchOptions) defaults() {
 	if o.MaxMatches == 0 {
 		o.MaxMatches = 10000
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 }
 
-// matcher carries the state of one top-k search.
+// matcher carries the state of one top-k search. After planning (candidate
+// pruning, adjacency), every field except res and the panic capture is
+// read-only, so worker goroutines share the matcher freely; all mutable
+// search state lives in the per-worker searchState and the internally
+// synchronized resultSet.
 type matcher struct {
 	g    *store.Graph
 	q    *QueryGraph
 	opts MatchOptions
 
-	cands   [][]VertexCandidate // pruned candidate lists per vertex
-	adj     [][]int             // vertex → incident edge indices
-	found   map[string]*Match
-	results []*Match // maintained sorted by descending score
-	probes  int      // anchored searches performed (stats)
+	cands  [][]VertexCandidate // pruned candidate lists per vertex
+	adj    [][]int             // vertex → incident edge indices
+	res    *resultSet          // shared top-k (mutex-guarded)
+	probes atomic.Int64        // anchored searches performed (stats)
+
+	panicMu    sync.Mutex
+	panicVal   any
+	panicStack []byte
 }
 
 // MatchStats reports search effort, used by the ablation benchmarks.
@@ -82,6 +106,8 @@ type MatchStats struct {
 	CandidatesCut  int // removed by neighborhood pruning
 	Rounds         int
 	EarlyStopped   bool
+	// Parallelism is the resolved worker count the search ran with.
+	Parallelism int
 	// Truncated is the budget-exhaustion reason ("deadline", "canceled",
 	// "steps", "candidates") when the search was cut short, "" for a
 	// complete search. A truncated search still returns the best partial
@@ -93,10 +119,23 @@ type MatchStats struct {
 // in round-robin, run an exploration-based (VF2-style) subgraph search from
 // every cursor candidate, and stop once the current k-th score beats the
 // upper bound of Equation 3.
+//
+// Each round's cursor candidates expand to seed entities that a bounded
+// worker pool (MatchOptions.Parallelism) explores concurrently; the pool
+// joins at the round barrier so the TA stopping rule evaluates the same
+// complete rounds it does sequentially. Matches are returned in canonical
+// order — descending score, ties by ascending assignment key — so the
+// output is byte-identical across parallelism levels whenever the search
+// ran to completion (no budget truncation, no MaxMatches cap).
+//
+// A panic inside a worker (matcher bug, armed faultpoint) never wedges the
+// pool: it is captured, the pool drains, and the first panic is rethrown
+// on the caller's goroutine for the facade's *PipelineError conversion.
 func FindTopKMatches(g *store.Graph, q *QueryGraph, opts MatchOptions) ([]Match, MatchStats) {
 	opts.defaults()
-	m := &matcher{g: g, q: q, opts: opts, found: make(map[string]*Match)}
+	m := &matcher{g: g, q: q, opts: opts, res: newResultSet(opts.MaxMatches)}
 	var stats MatchStats
+	stats.Parallelism = opts.Parallelism
 
 	m.adj = make([][]int, len(q.Vertices))
 	for ei, e := range q.Edges {
@@ -131,11 +170,14 @@ func FindTopKMatches(g *store.Graph, q *QueryGraph, opts MatchOptions) ([]Match,
 	anchors := m.anchorVertices()
 	if len(anchors) == 0 {
 		// Every vertex is unconstrained (an all-wh question): enumerate
-		// graph vertices as the anchor for vertex 0.
+		// graph vertices as the anchor for vertex 0. This degenerate path
+		// stays sequential: its MaxMatches cutoff is order-sensitive, and
+		// determinism outranks speed for a query shape with no candidate
+		// signal.
 		m.enumerateUnanchored()
-		stats.AnchorsProbed = m.probes
+		stats.AnchorsProbed = int(m.probes.Load())
 		stats.Truncated = opts.Budget.Exhausted()
-		return m.harvest(), stats
+		return m.res.harvest(opts.TopK), stats
 	}
 
 	maxLen := 0
@@ -146,23 +188,164 @@ func FindTopKMatches(g *store.Graph, q *QueryGraph, opts MatchOptions) ([]Match,
 	}
 	for round := 0; round < maxLen && !opts.Budget.Done(); round++ {
 		stats.Rounds++
-		for _, vi := range anchors {
-			if round >= len(m.cands[vi]) {
-				continue
-			}
-			m.searchFromAnchor(vi, m.cands[vi][round])
-			if opts.Budget.Done() {
-				break
-			}
+		m.runTasks(m.roundTasks(anchors, round))
+		if m.aborted() {
+			break
 		}
 		if !opts.Exhaustive && m.thresholdReached(anchors, round) {
 			stats.EarlyStopped = true
 			break
 		}
 	}
-	stats.AnchorsProbed = m.probes
+	m.rethrow()
+	stats.AnchorsProbed = int(m.probes.Load())
 	stats.Truncated = opts.Budget.Exhausted()
-	return m.harvest(), stats
+	return m.res.harvest(opts.TopK), stats
+}
+
+// seedTask is one unit of parallel work: enumerate every match in which
+// query vertex vi is bound to entity u, justified by the class via (or
+// directly when via is store.None) with vertex confidence score.
+type seedTask struct {
+	vi    int
+	u     store.ID
+	via   store.ID
+	score float64
+}
+
+// roundTasks expands the TA cursors at position round into per-seed work
+// items — the searchFromAnchor calls of the sequential algorithm, with
+// class candidates unrolled to their instances so the pool load-balances
+// over the real work. Expansion preserves the sequential exploration order
+// (anchors in order, instances in adjacency order): a single worker
+// replays the exact legacy search.
+func (m *matcher) roundTasks(anchors []int, round int) []seedTask {
+	var tasks []seedTask
+	for _, vi := range anchors {
+		if round >= len(m.cands[vi]) {
+			continue
+		}
+		c := m.cands[vi][round]
+		m.probes.Add(1)
+		if c.IsClass {
+			for _, u := range m.g.InstancesOf(c.ID) {
+				tasks = append(tasks, seedTask{vi: vi, u: u, via: c.ID, score: c.Score})
+			}
+		} else {
+			tasks = append(tasks, seedTask{vi: vi, u: c.ID, via: store.None, score: c.Score})
+		}
+	}
+	return tasks
+}
+
+// runTasks executes one round's seeds. With an effective parallelism of
+// one the tasks run inline in submission order (the sequential search);
+// otherwise a bounded pool of goroutines drains a task channel and joins
+// before returning, so the caller's round barrier holds. Submission stops
+// early when the budget trips or a worker panicked — the early-terminate
+// propagation that keeps a wedged or pathological round from finishing its
+// full fan-out.
+func (m *matcher) runTasks(tasks []seedTask) {
+	p := m.opts.Parallelism
+	if p > len(tasks) {
+		p = len(tasks)
+	}
+	if p <= 1 {
+		for i := range tasks {
+			if m.aborted() {
+				return
+			}
+			m.runSeed(&tasks[i])
+		}
+		return
+	}
+	ch := make(chan *seedTask)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				m.runSeed(t)
+			}
+		}()
+	}
+	for i := range tasks {
+		if m.aborted() {
+			break
+		}
+		ch <- &tasks[i]
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// runSeed explores every match rooted at one seed assignment. A panic
+// (a matcher bug, or an armed matcher.worker/matcher.extend faultpoint)
+// is captured instead of killing the worker goroutine, so the pool always
+// drains; FindTopKMatches rethrows the first captured panic once the pool
+// has joined.
+func (m *matcher) runSeed(t *seedTask) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.notePanic(r)
+		}
+	}()
+	faultpoint.Hit(faultpoint.MatcherWorker)
+	if !m.opts.Budget.Candidate() {
+		return
+	}
+	st := newSearchState(len(m.q.Vertices), len(m.q.Edges))
+	st.assign[t.vi] = t.u
+	st.via[t.vi] = t.via
+	st.score[t.vi] = t.score
+	st.done[t.vi] = true
+	m.extend(st)
+}
+
+func (m *matcher) notePanic(v any) {
+	m.panicMu.Lock()
+	if m.panicVal == nil {
+		m.panicVal = v
+		m.panicStack = debug.Stack()
+	}
+	m.panicMu.Unlock()
+}
+
+func (m *matcher) panicked() bool {
+	m.panicMu.Lock()
+	defer m.panicMu.Unlock()
+	return m.panicVal != nil
+}
+
+// aborted reports whether the search should stop dispatching work: the
+// budget tripped or a worker panicked.
+func (m *matcher) aborted() bool {
+	return m.opts.Budget.Done() || m.panicked()
+}
+
+// rethrow re-raises the first captured worker panic on the calling
+// goroutine. The pool has already joined, so recovery upstream (the
+// facade's *PipelineError conversion) leaves no goroutine behind.
+func (m *matcher) rethrow() {
+	m.panicMu.Lock()
+	v, stack := m.panicVal, m.panicStack
+	m.panicMu.Unlock()
+	if v != nil {
+		panic(&WorkerPanic{Value: v, Stack: stack})
+	}
+}
+
+// WorkerPanic wraps a panic captured inside a matcher worker goroutine
+// when it is rethrown on the caller's goroutine, preserving the original
+// panic value and worker stack for the facade's *PipelineError.
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("matcher worker panic: %v", p.Value)
 }
 
 // anchorVertices returns the constrained vertices usable as TA cursors.
@@ -240,9 +423,11 @@ func (m *matcher) passesNeighborhood(vi int, u store.ID) bool {
 
 // thresholdReached evaluates the TA stopping rule: the upper bound on any
 // undiscovered match (every anchor candidate at position > round, every
-// edge at its best) must not beat the current k-th best score.
+// edge at its best) must not beat the current k-th best score. It runs at
+// the round barrier only, after the pool has joined, so it sees the same
+// complete rounds the sequential algorithm sees.
 func (m *matcher) thresholdReached(anchors []int, round int) bool {
-	theta, full := m.kthScore()
+	theta, full := m.res.kthScore(m.opts.TopK)
 	if !full {
 		return false
 	}
@@ -275,50 +460,50 @@ func (m *matcher) thresholdReached(anchors []int, round int) bool {
 	return theta >= up
 }
 
-// kthScore returns the current k-th distinct score and whether k distinct
-// scores exist yet.
-func (m *matcher) kthScore() (float64, bool) {
-	distinct := 0
-	last := math.Inf(1)
-	for _, r := range m.results {
-		if r.Score != last {
-			distinct++
-			last = r.Score
-		}
-		if distinct == m.opts.TopK {
-			return last, true
-		}
-	}
-	return math.Inf(-1), false
+// resultSet is the top-k state shared by every worker of one search. All
+// mutable state sits behind one mutex; the match count is additionally
+// mirrored in an atomic so the MaxMatches cap check in the hot extend
+// loop stays lock-free.
+type resultSet struct {
+	maxMatches int
+	count      atomic.Int64 // == len(found), read lock-free by full()
+
+	mu      sync.Mutex
+	found   map[string]*Match
+	results []*Match // maintained sorted by descending score
 }
 
-// harvest returns the matches carrying the top-k distinct scores.
-func (m *matcher) harvest() []Match {
-	var out []Match
-	distinct := 0
-	last := math.Inf(1)
-	for _, r := range m.results {
-		if r.Score != last {
-			distinct++
-			last = r.Score
-			if distinct > m.opts.TopK {
-				break
-			}
-		}
-		out = append(out, *r)
-	}
-	return out
+func newResultSet(maxMatches int) *resultSet {
+	return &resultSet{maxMatches: maxMatches, found: make(map[string]*Match)}
 }
 
-func (m *matcher) record(match *Match) {
-	if len(m.found) >= m.opts.MaxMatches {
+// full reports whether the MaxMatches safety cap is reached. It may lag a
+// concurrent record by an instant (the cap is a safety valve, not an exact
+// quota); record itself re-checks under the lock.
+func (rs *resultSet) full() bool {
+	return rs.count.Load() >= int64(rs.maxMatches)
+}
+
+// record registers a discovered match, deduplicating by assignment key and
+// keeping the best-scoring justification per assignment. The final score
+// per key is its maximum over all discoveries, so the recorded state is
+// independent of the order workers find matches in.
+func (rs *resultSet) record(match *Match) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(rs.found) >= rs.maxMatches {
 		return
 	}
 	k := match.key()
-	if prev, ok := m.found[k]; ok {
+	if prev, ok := rs.found[k]; ok {
 		if match.Score > prev.Score {
-			*prev = *match
-			sort.SliceStable(m.results, func(i, j int) bool { return m.results[i].Score > m.results[j].Score })
+			// Same assignment, better justification. The slices must be
+			// copied, not aliased: match points at the worker's live
+			// backtracking state, which mutates after record returns.
+			prev.Score = match.Score
+			prev.Via = append(prev.Via[:0], match.Via...)
+			prev.EdgePaths = append(prev.EdgePaths[:0], match.EdgePaths...)
+			sort.SliceStable(rs.results, func(i, j int) bool { return rs.results[i].Score > rs.results[j].Score })
 		}
 		return
 	}
@@ -326,47 +511,80 @@ func (m *matcher) record(match *Match) {
 	cp.Assignment = append([]store.ID(nil), match.Assignment...)
 	cp.Via = append([]store.ID(nil), match.Via...)
 	cp.EdgePaths = append([]dict.Path(nil), match.EdgePaths...)
-	m.found[k] = &cp
-	pos := sort.Search(len(m.results), func(i int) bool { return m.results[i].Score < cp.Score })
-	m.results = append(m.results, nil)
-	copy(m.results[pos+1:], m.results[pos:])
-	m.results[pos] = &cp
+	rs.found[k] = &cp
+	pos := sort.Search(len(rs.results), func(i int) bool { return rs.results[i].Score < cp.Score })
+	rs.results = append(rs.results, nil)
+	copy(rs.results[pos+1:], rs.results[pos:])
+	rs.results[pos] = &cp
+	rs.count.Store(int64(len(rs.found)))
 }
 
-// searchFromAnchor enumerates every match in which query vertex vi is
-// matched through candidate c (directly, or via the instances of a class
-// candidate).
-func (m *matcher) searchFromAnchor(vi int, c VertexCandidate) {
-	m.probes++
-	us := []store.ID{c.ID}
-	via := store.None
-	if c.IsClass {
-		us = m.g.InstancesOf(c.ID)
-		via = c.ID
+// kthScore returns the current k-th distinct score and whether k distinct
+// scores exist yet.
+func (rs *resultSet) kthScore(topK int) (float64, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	distinct := 0
+	last := math.Inf(1)
+	for _, r := range rs.results {
+		if r.Score != last {
+			distinct++
+			last = r.Score
+		}
+		if distinct == topK {
+			return last, true
+		}
 	}
-	n := len(m.q.Vertices)
-	for _, u := range us {
-		if !m.opts.Budget.Candidate() {
-			return
+	return math.Inf(-1), false
+}
+
+// harvest returns the matches carrying the top-k distinct scores, in
+// canonical order: descending score, ties by ascending assignment key.
+// Which matches qualify depends only on the score multiset, and each
+// match's final score is order-independent (record keeps the per-key
+// maximum), so for a non-truncated search the harvest is byte-identical
+// at every parallelism level.
+func (rs *resultSet) harvest(topK int) []Match {
+	rs.mu.Lock()
+	var out []Match
+	distinct := 0
+	last := math.Inf(1)
+	for _, r := range rs.results {
+		if r.Score != last {
+			distinct++
+			last = r.Score
+			if distinct > topK {
+				break
+			}
 		}
-		st := &searchState{
-			assign: make([]store.ID, n),
-			via:    make([]store.ID, n),
-			score:  make([]float64, n),
-			paths:  make([]dict.Path, len(m.q.Edges)),
-			pscore: make([]float64, len(m.q.Edges)),
-			done:   make([]bool, n),
-		}
-		for i := range st.assign {
-			st.assign[i] = store.None
-			st.via[i] = store.None
-		}
-		st.assign[vi] = u
-		st.via[vi] = via
-		st.score[vi] = c.Score
-		st.done[vi] = true
-		m.extend(st)
+		out = append(out, *r)
 	}
+	rs.mu.Unlock()
+	keys := make([]string, len(out))
+	for i := range out {
+		keys[i] = out[i].key()
+	}
+	sort.Sort(&canonicalOrder{matches: out, keys: keys})
+	return out
+}
+
+// canonicalOrder sorts matches by descending score, ties by ascending
+// assignment key (keys are unique: found dedups by key).
+type canonicalOrder struct {
+	matches []Match
+	keys    []string
+}
+
+func (s *canonicalOrder) Len() int { return len(s.matches) }
+func (s *canonicalOrder) Less(i, j int) bool {
+	if s.matches[i].Score != s.matches[j].Score {
+		return s.matches[i].Score > s.matches[j].Score
+	}
+	return s.keys[i] < s.keys[j]
+}
+func (s *canonicalOrder) Swap(i, j int) {
+	s.matches[i], s.matches[j] = s.matches[j], s.matches[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 type searchState struct {
@@ -378,10 +596,26 @@ type searchState struct {
 	done   []bool
 }
 
+func newSearchState(nVerts, nEdges int) *searchState {
+	st := &searchState{
+		assign: make([]store.ID, nVerts),
+		via:    make([]store.ID, nVerts),
+		score:  make([]float64, nVerts),
+		paths:  make([]dict.Path, nEdges),
+		pscore: make([]float64, nEdges),
+		done:   make([]bool, nVerts),
+	}
+	for i := range st.assign {
+		st.assign[i] = store.None
+		st.via[i] = store.None
+	}
+	return st
+}
+
 // extend grows the partial assignment by one vertex (VF2-style: always a
 // vertex adjacent to the matched region when one exists) until complete.
 func (m *matcher) extend(st *searchState) {
-	if len(m.found) >= m.opts.MaxMatches {
+	if m.res.full() {
 		return
 	}
 	faultpoint.Hit(faultpoint.MatcherExtend)
@@ -571,7 +805,7 @@ func (m *matcher) finish(st *searchState) {
 		}
 		score += math.Log(st.pscore[ei])
 	}
-	m.record(&Match{
+	m.res.record(&Match{
 		Assignment: st.assign,
 		Via:        st.via,
 		EdgePaths:  st.paths,
@@ -587,9 +821,8 @@ func (m *matcher) enumerateUnanchored() {
 	if len(m.q.Vertices) == 0 {
 		return
 	}
-	m.probes++
-	n := len(m.q.Vertices)
-	for v := 0; v < m.g.NumTerms() && len(m.found) < m.opts.MaxMatches; v++ {
+	m.probes.Add(1)
+	for v := 0; v < m.g.NumTerms() && !m.res.full(); v++ {
 		u := store.ID(v)
 		if !m.g.Term(u).IsIRI() || m.g.Degree(u) == 0 {
 			continue
@@ -597,18 +830,7 @@ func (m *matcher) enumerateUnanchored() {
 		if !m.opts.Budget.Candidate() {
 			return
 		}
-		st := &searchState{
-			assign: make([]store.ID, n),
-			via:    make([]store.ID, n),
-			score:  make([]float64, n),
-			paths:  make([]dict.Path, len(m.q.Edges)),
-			pscore: make([]float64, len(m.q.Edges)),
-			done:   make([]bool, n),
-		}
-		for i := range st.assign {
-			st.assign[i] = store.None
-			st.via[i] = store.None
-		}
+		st := newSearchState(len(m.q.Vertices), len(m.q.Edges))
 		st.assign[0], st.score[0], st.done[0] = u, 1.0, true
 		m.extend(st)
 	}

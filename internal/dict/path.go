@@ -232,19 +232,14 @@ func FollowPath(g *store.Graph, v store.ID, p Path) []store.ID {
 		var next []state
 		for _, st := range cur {
 			last := st.verts[len(st.verts)-1]
+			// OutByPred/InByPred serve hub vertices from the store's
+			// predicate-grouped cache in adjacency order, so results are
+			// unchanged but each step skips the full-degree scan.
 			var neighbors []store.ID
 			if s.Forward {
-				for _, e := range g.Out(last) {
-					if e.Pred == s.Pred {
-						neighbors = append(neighbors, e.To)
-					}
-				}
+				neighbors = g.OutByPred(last, s.Pred)
 			} else {
-				for _, e := range g.In(last) {
-					if e.Pred == s.Pred {
-						neighbors = append(neighbors, e.To)
-					}
-				}
+				neighbors = g.InByPred(last, s.Pred)
 			}
 		nb:
 			for _, u := range neighbors {

@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gqa/internal/bench"
+	"gqa/internal/core"
+)
+
+// answerFingerprint serializes everything observable about one answered
+// question — failure kind, boolean, answer IDs, and every match's
+// assignment, justification, edge paths, and score — so two runs can be
+// compared byte-for-byte.
+func answerFingerprint(res *core.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "failure=%v degraded=%q", res.Failure, res.Degraded)
+	if res.Boolean != nil {
+		fmt.Fprintf(&b, " bool=%v", *res.Boolean)
+	}
+	fmt.Fprintf(&b, " answers=%v\n", res.Answers)
+	for _, m := range res.Matches {
+		fmt.Fprintf(&b, "  assign=%v via=%v score=%.15f paths=[", m.Assignment, m.Via, m.Score)
+		for _, p := range m.EdgePaths {
+			fmt.Fprintf(&b, "%s|", p.Key())
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// TestWorkloadParallelDifferential is the workload-wide differential
+// harness: every question of the benchmark workload must produce
+// byte-identical results — answers, matches, scores, order — whether the
+// matcher runs sequentially (P=1) or on a pool (P=2, P=8). No budget is
+// set, so the determinism guarantee of MatchOptions.Parallelism applies
+// in full.
+func TestWorkloadParallelDifferential(t *testing.T) {
+	sys, _, _, err := BuildSystems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := bench.Workload()
+
+	baseline := make([]string, len(qs))
+	sys.Opts.Parallelism = 1
+	for i, q := range qs {
+		res, err := sys.Answer(q.Text)
+		if err != nil {
+			t.Fatalf("P=1 %q: %v", q.Text, err)
+		}
+		baseline[i] = answerFingerprint(res)
+	}
+
+	for _, p := range []int{2, 8} {
+		sys.Opts.Parallelism = p
+		for i, q := range qs {
+			res, err := sys.Answer(q.Text)
+			if err != nil {
+				t.Fatalf("P=%d %q: %v", p, q.Text, err)
+			}
+			if got := answerFingerprint(res); got != baseline[i] {
+				t.Errorf("P=%d %q diverged from sequential:\n got: %s\nwant: %s",
+					p, q.Text, got, baseline[i])
+			}
+		}
+	}
+}

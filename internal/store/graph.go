@@ -67,6 +67,11 @@ type Graph struct {
 	classes   map[ID]struct{} // vertices that are classes
 	instances map[ID][]ID     // class → direct instances
 	preds     map[ID]int      // predicate → triple count
+
+	// pidx caches predicate-grouped adjacency for hub vertices (see
+	// predindex.go). It is the one structure that mutates during
+	// concurrent reads, so it carries its own lock.
+	pidx predIndex
 }
 
 // New returns an empty graph.
@@ -144,6 +149,7 @@ func (g *Graph) addIDs(s, p, o ID) {
 		return
 	}
 	g.triples[spo] = struct{}{}
+	g.pidx.invalidate(s, o)
 	g.out[s] = append(g.out[s], Edge{Pred: p, To: o})
 	g.in[o] = append(g.in[o], Edge{Pred: p, To: s})
 	g.byPred[p] = append(g.byPred[p], spo)
@@ -174,6 +180,7 @@ func (g *Graph) Remove(s, p, o ID) bool {
 		return false
 	}
 	delete(g.triples, spo)
+	g.pidx.invalidate(s, o)
 	g.out[s] = removeEdge(g.out[s], Edge{Pred: p, To: o})
 	g.in[o] = removeEdge(g.in[o], Edge{Pred: p, To: s})
 	g.byPred[p] = removeSpo(g.byPred[p], spo)

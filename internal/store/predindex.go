@@ -1,0 +1,119 @@
+package store
+
+import "sync"
+
+// predIndexMinDegree is the degree below which OutByPred/InByPred scan the
+// adjacency list directly instead of building a cache entry: grouping a
+// short list costs more than the scan it saves, and small entries would
+// bloat the index on graphs with millions of low-degree vertices.
+const predIndexMinDegree = 16
+
+// predIndex is a lazily-built per-vertex predicate-grouped view of the
+// adjacency lists: vertex → predicate → neighbors, preserving adjacency
+// order. Path following (dict.FollowPath) repeatedly asks "the neighbors
+// of v over predicate p"; for hub vertices a linear scan of the full list
+// per step is the dominant cost, so the first such query groups the list
+// once and later queries are a map lookup.
+//
+// Entries are built on demand during matching, which runs many goroutines
+// (the parallel matcher) over one shared Graph — so unlike the rest of the
+// Graph, whose structures are frozen after loading, this cache mutates
+// under concurrent readers and must carry its own lock. An entry is
+// immutable after build: builders install fully-formed maps under the
+// write lock, readers only ever see nil or a complete entry, and graph
+// mutation invalidates the touched vertices before any new read can
+// observe stale neighbors.
+type predIndex struct {
+	mu  sync.RWMutex
+	out map[ID]map[ID][]ID
+	in  map[ID]map[ID][]ID
+}
+
+// lookup returns the cached grouping for v in the given direction, or nil.
+// The direction map field itself is read under the lock: it is lazily
+// initialized by the first builder, so an unlocked field read would race.
+func (px *predIndex) lookup(incoming bool, v ID) (map[ID][]ID, bool) {
+	px.mu.RLock()
+	dir := px.out
+	if incoming {
+		dir = px.in
+	}
+	e, ok := dir[v]
+	px.mu.RUnlock()
+	return e, ok
+}
+
+// invalidate drops the cache entries of every given vertex (called on
+// graph mutation, under the graph's single-writer contract).
+func (px *predIndex) invalidate(vs ...ID) {
+	px.mu.Lock()
+	for _, v := range vs {
+		delete(px.out, v)
+		delete(px.in, v)
+	}
+	px.mu.Unlock()
+}
+
+// group builds the predicate-grouped view of one adjacency list,
+// preserving the list's order within each predicate (the matcher's
+// determinism leans on stable neighbor order).
+func group(edges []Edge) map[ID][]ID {
+	m := make(map[ID][]ID)
+	for _, e := range edges {
+		m[e.Pred] = append(m[e.Pred], e.To)
+	}
+	return m
+}
+
+// OutByPred returns the out-neighbors of v over predicate p, in adjacency
+// order. For high-degree vertices the grouping is cached; the cache is
+// safe under concurrent readers (the parallel matcher) and invalidated on
+// mutation. The returned slice is owned by the graph.
+func (g *Graph) OutByPred(v, p ID) []ID {
+	return g.byPredDir(g.out[v], v, p, false)
+}
+
+// InByPred returns the in-neighbors of v over predicate p (the subjects of
+// triples ? --p--> v), in adjacency order.
+func (g *Graph) InByPred(v, p ID) []ID {
+	return g.byPredDir(g.in[v], v, p, true)
+}
+
+func (g *Graph) byPredDir(edges []Edge, v, p ID, incoming bool) []ID {
+	if len(edges) < predIndexMinDegree {
+		var out []ID
+		for _, e := range edges {
+			if e.Pred == p {
+				out = append(out, e.To)
+			}
+		}
+		return out
+	}
+	px := &g.pidx
+	if e, ok := px.lookup(incoming, v); ok {
+		return e[p]
+	}
+	grouped := group(edges)
+	px.mu.Lock()
+	if incoming {
+		if px.in == nil {
+			px.in = make(map[ID]map[ID][]ID)
+		}
+		if e, ok := px.in[v]; ok {
+			grouped = e // lost the build race; keep the installed entry
+		} else {
+			px.in[v] = grouped
+		}
+	} else {
+		if px.out == nil {
+			px.out = make(map[ID]map[ID][]ID)
+		}
+		if e, ok := px.out[v]; ok {
+			grouped = e
+		} else {
+			px.out[v] = grouped
+		}
+	}
+	px.mu.Unlock()
+	return grouped[p]
+}

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gqa/internal/rdf"
+)
+
+// hubGraph builds a graph with one hub entity connected to n neighbors
+// over two alternating predicates — degree well above predIndexMinDegree,
+// so OutByPred/InByPred exercise the cached path.
+func hubGraph(t *testing.T, n int) (*Graph, ID, ID, ID) {
+	t.Helper()
+	g := New()
+	hub := g.Intern(rdf.NewIRI("http://x/hub"))
+	p1 := g.Intern(rdf.NewIRI("http://x/likes"))
+	p2 := g.Intern(rdf.NewIRI("http://x/knows"))
+	for i := 0; i < n; i++ {
+		o := g.Intern(rdf.NewIRI(fmt.Sprintf("http://x/n%d", i)))
+		p := p1
+		if i%2 == 1 {
+			p = p2
+		}
+		g.AddSPO(hub, p, o)
+		g.AddSPO(o, p, hub)
+	}
+	return g, hub, p1, p2
+}
+
+// scanByPred is the straightforward reference the index must agree with.
+func scanByPred(edges []Edge, p ID) []ID {
+	var out []ID
+	for _, e := range edges {
+		if e.Pred == p {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+func sameIDs(a, b []ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOutInByPredMatchScan(t *testing.T) {
+	// Both below the cache threshold (small n) and above it, the grouped
+	// lookup must return exactly the scan result in adjacency order.
+	for _, n := range []int{4, 100} {
+		g, hub, p1, p2 := hubGraph(t, n)
+		for _, p := range []ID{p1, p2} {
+			if got, want := g.OutByPred(hub, p), scanByPred(g.Out(hub), p); !sameIDs(got, want) {
+				t.Fatalf("n=%d OutByPred = %v, scan = %v", n, got, want)
+			}
+			if got, want := g.InByPred(hub, p), scanByPred(g.In(hub), p); !sameIDs(got, want) {
+				t.Fatalf("n=%d InByPred = %v, scan = %v", n, got, want)
+			}
+		}
+		// Absent predicate: empty either way.
+		if got := g.OutByPred(hub, g.Intern(rdf.NewIRI("http://x/none"))); len(got) != 0 {
+			t.Fatalf("absent predicate returned %v", got)
+		}
+	}
+}
+
+// TestPredIndexConcurrentBuild is the race regression for the lazily-built
+// predicate index: many goroutines hit the same cold hub vertex at once,
+// racing the build. Before the index was guarded (RWMutex + install-once
+// under the write lock), this test failed under -race with concurrent map
+// writes; it must stay in the -race tier.
+func TestPredIndexConcurrentBuild(t *testing.T) {
+	g, hub, p1, p2 := hubGraph(t, 200)
+	wantOut1 := scanByPred(g.Out(hub), p1)
+	wantIn2 := scanByPred(g.In(hub), p2)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := g.OutByPred(hub, p1); !sameIDs(got, wantOut1) {
+					select {
+					case errs <- fmt.Sprintf("OutByPred = %v, want %v", got, wantOut1):
+					default:
+					}
+					return
+				}
+				if got := g.InByPred(hub, p2); !sameIDs(got, wantIn2) {
+					select {
+					case errs <- fmt.Sprintf("InByPred = %v, want %v", got, wantIn2):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestPredIndexInvalidatedOnMutation(t *testing.T) {
+	g, hub, p1, _ := hubGraph(t, 50)
+	before := append([]ID(nil), g.OutByPred(hub, p1)...) // populate the cache
+
+	extra := g.Intern(rdf.NewIRI("http://x/extra"))
+	g.AddSPO(hub, p1, extra)
+	after := g.OutByPred(hub, p1)
+	if len(after) != len(before)+1 || after[len(after)-1] != extra {
+		t.Fatalf("Add not reflected: before %d, after %v", len(before), after)
+	}
+
+	if !g.Remove(hub, p1, extra) {
+		t.Fatal("Remove reported absent triple")
+	}
+	if got := g.OutByPred(hub, p1); !sameIDs(got, before) {
+		t.Fatalf("Remove not reflected: got %v, want %v", got, before)
+	}
+}
