@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race fuzz bench
+.PHONY: tier1 vet build test race fuzz bench serve-smoke
 
 tier1: vet build race
 
@@ -20,6 +20,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# End-to-end serving smoke test: boot gqa-serve on a random port, answer
+# one question over HTTP, scrape /metrics, and assert the question
+# counter and per-stage histograms moved.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -v ./cmd/gqa-serve
 
 # Short fuzz passes over the parser/evaluator targets (not part of tier1).
 fuzz:

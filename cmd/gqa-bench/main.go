@@ -30,6 +30,7 @@ import (
 	"gqa/internal/dict"
 	"gqa/internal/eval"
 	"gqa/internal/nlp"
+	"gqa/internal/obs"
 	"gqa/internal/rdf"
 	"gqa/internal/store"
 )
@@ -506,10 +507,11 @@ func parallelExp() {
 		Identical   bool    `json:"identical_to_sequential"`
 	}
 	report := struct {
-		GOMAXPROCS int   `json:"gomaxprocs"`
-		NumCPU     int   `json:"num_cpu"`
-		Seeds      int   `json:"seed_tasks"`
-		Runs       []run `json:"runs"`
+		GOMAXPROCS int            `json:"gomaxprocs"`
+		NumCPU     int            `json:"num_cpu"`
+		Seeds      int            `json:"seed_tasks"`
+		Runs       []run          `json:"runs"`
+		Metrics    map[string]any `json:"metrics"`
 	}{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Seeds: nInst}
 
 	baseline, _ := core.FindTopKMatches(g, q, core.MatchOptions{TopK: 10, Parallelism: 1})
@@ -541,6 +543,11 @@ func parallelExp() {
 		fmt.Println("note: single-CPU host — speedup is bounded at ~1×; run on a multicore machine to see the pool scale")
 	}
 	if *parallelJSON != "" {
+		// The pipeline-metric state after the runs: matcher effort
+		// (rounds/seeds/steps), FollowPath traffic, predicate-index hit
+		// rate — the workload's observability fingerprint rides along with
+		// the timings.
+		report.Metrics = obs.Default.Snapshot()
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gqa-bench:", err)

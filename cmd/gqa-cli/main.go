@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gqa-cli [-graph graph.nt -dict dict.tsv] [-explain] [-parallel N] [question ...]
+//	gqa-cli [-graph graph.nt -dict dict.tsv] [-explain] [-trace] [-parallel N] [question ...]
 //
 // Without -graph/-dict it runs over the bundled mini-DBpedia benchmark
 // knowledge base with a freshly mined paraphrase dictionary. Questions
@@ -16,6 +16,9 @@
 //
 // -parallel sets the matcher's worker count per question (0 = GOMAXPROCS,
 // 1 = the sequential search). Answers are byte-identical at every setting.
+//
+// -trace prints each question's span tree after the answer: per-stage
+// timings, candidate counts, matcher rounds, and budget spent.
 package main
 
 import (
@@ -34,6 +37,7 @@ func main() {
 	graphPath := flag.String("graph", "", "N-Triples graph file (default: bundled mini-DBpedia)")
 	dictPath := flag.String("dict", "", "paraphrase dictionary file (gqa-mine output)")
 	explain := flag.Bool("explain", false, "show the top matches behind each answer")
+	trace := flag.Bool("trace", false, "print each question's span tree (stage timings and counters)")
 	aggregate := flag.Bool("aggregate", false, "enable the counting/superlative extension")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per question (0 = unlimited), e.g. 500ms")
 	parallel := flag.Int("parallel", 0, "matcher worker goroutines per question (0 = GOMAXPROCS, 1 = sequential); answers are identical at every setting")
@@ -48,7 +52,7 @@ func main() {
 
 	if flag.NArg() > 0 {
 		for _, q := range flag.Args() {
-			ask(sys, q, *explain, *timeout)
+			ask(sys, q, *explain, *trace, *timeout)
 		}
 		return
 	}
@@ -69,7 +73,7 @@ func main() {
 		case strings.HasPrefix(line, "sparql "):
 			runSPARQL(sys, strings.TrimPrefix(line, "sparql "), *timeout)
 		default:
-			ask(sys, line, *explain, *timeout)
+			ask(sys, line, *explain, *trace, *timeout)
 		}
 	}
 }
@@ -117,9 +121,11 @@ func withBudget(timeout time.Duration) (context.Context, context.CancelFunc) {
 	return context.Background(), func() {}
 }
 
-func ask(sys *gqa.System, question string, explain bool, timeout time.Duration) {
+func ask(sys *gqa.System, question string, explain, trace bool, timeout time.Duration) {
+	ctx, cancel := withBudget(timeout)
+	defer cancel()
 	if explain {
-		ans, lines, err := sys.Explain(question)
+		ans, lines, err := sys.ExplainContext(ctx, question)
 		if err != nil {
 			fmt.Println("error:", err)
 			return
@@ -128,16 +134,31 @@ func ask(sys *gqa.System, question string, explain bool, timeout time.Duration) 
 		for _, l := range lines {
 			fmt.Println("   ", l)
 		}
+		printTrace(ans, trace)
 		return
 	}
-	ctx, cancel := withBudget(timeout)
-	defer cancel()
-	ans, err := sys.AnswerContext(ctx, question)
+	var (
+		ans *gqa.Answer
+		err error
+	)
+	if trace {
+		ans, err = sys.AnswerTraced(ctx, question)
+	} else {
+		ans, err = sys.AnswerContext(ctx, question)
+	}
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
 	printAnswer(ans)
+	printTrace(ans, trace)
+}
+
+func printTrace(ans *gqa.Answer, trace bool) {
+	if !trace || ans.Trace == nil {
+		return
+	}
+	fmt.Println(ans.Trace.Tree())
 }
 
 func printAnswer(ans *gqa.Answer) {

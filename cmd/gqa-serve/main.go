@@ -1,0 +1,184 @@
+// Command gqa-serve exposes the answering pipeline over HTTP: a small
+// serving front end with the observability surface wired in.
+//
+// Usage:
+//
+//	gqa-serve [-addr host:port] [-graph graph.nt -dict dict.tsv]
+//	          [-aggregate] [-parallel N] [-timeout d]
+//
+// Without -graph/-dict it serves the bundled mini-DBpedia benchmark
+// knowledge base with a freshly mined paraphrase dictionary.
+//
+// Endpoints:
+//
+//	GET /answer?q=<question>[&trace=1]
+//	    Answers a natural-language question; JSON response. With trace=1
+//	    the response embeds the question's full span tree.
+//	GET /metrics
+//	    Every pipeline metric in the Prometheus text exposition format.
+//	GET /debug/trace/latest
+//	    The span tree of the most recently answered question, as JSON
+//	    ("null" before the first question).
+//
+// Every request is traced (the trace feeds /debug/trace/latest); -timeout
+// bounds each question's wall-clock time, degrading to the best partial
+// answer found (the "degraded" field names the exhausted resource).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"gqa"
+	"gqa/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	graphPath := flag.String("graph", "", "N-Triples graph file (default: bundled mini-DBpedia)")
+	dictPath := flag.String("dict", "", "paraphrase dictionary file (gqa-mine output)")
+	aggregate := flag.Bool("aggregate", false, "enable the counting/superlative extension")
+	parallel := flag.Int("parallel", 0, "matcher worker goroutines per question (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 5*time.Second, "wall-clock budget per question (0 = unlimited)")
+	flag.Parse()
+
+	sys, err := buildSystem(*graphPath, *dictPath, *aggregate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gqa-serve:", err)
+		os.Exit(1)
+	}
+	sys.SetParallelism(*parallel)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gqa-serve:", err)
+		os.Exit(1)
+	}
+	log.Printf("gqa-serve: listening on http://%s", ln.Addr())
+	log.Fatal(http.Serve(ln, newServer(sys, *timeout)))
+}
+
+func buildSystem(graphPath, dictPath string, aggregate bool) (*gqa.System, error) {
+	var (
+		sys *gqa.System
+		err error
+	)
+	if graphPath == "" {
+		sys, err = gqa.BenchmarkSystem()
+	} else {
+		if dictPath == "" {
+			return nil, fmt.Errorf("-dict is required with -graph (mine one with gqa-mine)")
+		}
+		var gf, df *os.File
+		if gf, err = os.Open(graphPath); err != nil {
+			return nil, err
+		}
+		defer gf.Close()
+		if df, err = os.Open(dictPath); err != nil {
+			return nil, err
+		}
+		defer df.Close()
+		sys, err = gqa.LoadSystem(gf, df)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if aggregate {
+		sys.SetAggregation(true)
+	}
+	return sys, nil
+}
+
+// server is the HTTP front end: the engine plus the last question's trace.
+type server struct {
+	sys     *gqa.System
+	timeout time.Duration
+	latest  atomic.Pointer[obs.Trace]
+	mux     *http.ServeMux
+}
+
+func newServer(sys *gqa.System, timeout time.Duration) *server {
+	s := &server{sys: sys, timeout: timeout, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/answer", s.handleAnswer)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/trace/latest", s.handleLatestTrace)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// answerResponse is the JSON shape of /answer.
+type answerResponse struct {
+	Question string          `json:"question"`
+	Labels   []string        `json:"labels,omitempty"`
+	IRIs     []string        `json:"iris,omitempty"`
+	Boolean  *bool           `json:"boolean,omitempty"`
+	OK       bool            `json:"ok"`
+	Failure  string          `json:"failure,omitempty"`
+	Degraded string          `json:"degraded,omitempty"`
+	SPARQL   string          `json:"sparql,omitempty"`
+	TotalMs  float64         `json:"total_ms"`
+	Trace    json.RawMessage `json:"trace,omitempty"`
+}
+
+func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	ans, err := s.sys.AnswerTraced(ctx, q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.latest.Store(ans.Trace)
+	resp := answerResponse{
+		Question: q,
+		Labels:   ans.Labels,
+		IRIs:     ans.IRIs,
+		Boolean:  ans.Boolean,
+		OK:       ans.OK,
+		Failure:  ans.Failure,
+		Degraded: ans.Degraded,
+		SPARQL:   ans.SPARQL,
+		TotalMs:  float64(ans.Total.Microseconds()) / 1000,
+	}
+	if r.URL.Query().Get("trace") == "1" {
+		resp.Trace = json.RawMessage(ans.Trace.JSON())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(&resp); err != nil {
+		log.Printf("gqa-serve: writing /answer response: %v", err)
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.sys.WriteMetrics(w); err != nil {
+		log.Printf("gqa-serve: writing /metrics response: %v", err)
+	}
+}
+
+func (s *server) handleLatestTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	// Trace.JSON is nil-safe: before the first question this serves "null".
+	if _, err := io.WriteString(w, s.latest.Load().JSON()); err != nil {
+		log.Printf("gqa-serve: writing /debug/trace/latest response: %v", err)
+	}
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"gqa"
+)
+
+// TestServeSmoke is the end-to-end serving smoke test (the `make
+// serve-smoke` target): start the server on a random port, answer one
+// question over HTTP, scrape /metrics, and assert the question counter
+// moved and the per-stage latency histograms populated.
+func TestServeSmoke(t *testing.T) {
+	sys, err := gqa.BenchmarkSystem()
+	if err != nil {
+		t.Fatalf("building benchmark system: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() { _ = http.Serve(ln, newServer(sys, 30*time.Second)) }()
+	base := "http://" + ln.Addr().String()
+
+	questionsBefore := metricValue(t, base, "gqa_core_questions_total")
+
+	body := get(t, base+"/answer?trace=1&q="+url.QueryEscape("Who is the mayor of Berlin?"))
+	var resp struct {
+		OK     bool            `json:"ok"`
+		Labels []string        `json:"labels"`
+		Trace  json.RawMessage `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("decoding /answer response %q: %v", body, err)
+	}
+	if !resp.OK || len(resp.Labels) == 0 {
+		t.Fatalf("expected an answer over HTTP, got %s", body)
+	}
+	if !strings.Contains(string(resp.Trace), `"name":"core.match"`) {
+		t.Errorf("embedded trace missing core.match span: %s", resp.Trace)
+	}
+
+	if after := metricValue(t, base, "gqa_core_questions_total"); after != questionsBefore+1 {
+		t.Errorf("gqa_core_questions_total = %v after one question, want %v", after, questionsBefore+1)
+	}
+	for _, stage := range []string{"parse", "understanding", "evaluation", "total"} {
+		series := `gqa_core_stage_seconds_count{stage="` + stage + `"}`
+		if v := metricValue(t, base, series); v < 1 {
+			t.Errorf("%s = %v, want >= 1", series, v)
+		}
+	}
+
+	latest := get(t, base+"/debug/trace/latest")
+	if !strings.Contains(latest, `"trace":"answer"`) || !strings.Contains(latest, "mayor of Berlin") {
+		t.Errorf("/debug/trace/latest missing the answered question: %s", latest)
+	}
+}
+
+func TestServeAnswerMissingParam(t *testing.T) {
+	sys, err := gqa.BenchmarkSystem()
+	if err != nil {
+		t.Fatalf("building benchmark system: %v", err)
+	}
+	srv := newServer(sys, 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() { _ = http.Serve(ln, srv) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/answer")
+	if err != nil {
+		t.Fatalf("GET /answer: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET /answer without q: status %d, want %d", resp.StatusCode, http.StatusBadRequest)
+	}
+}
+
+func get(t *testing.T, u string) string {
+	t.Helper()
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatalf("GET %s: %v", u, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", u, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", u, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+// metricValue scrapes /metrics and returns the value of the named series
+// (full series name including any label set), or 0 when absent.
+func metricValue(t *testing.T, base, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(get(t, base+"/metrics"), "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("parsing metric line %q: %v", line, err)
+		}
+		return v
+	}
+	return 0
+}

@@ -37,6 +37,7 @@ import (
 	"gqa/internal/bench"
 	"gqa/internal/core"
 	"gqa/internal/dict"
+	"gqa/internal/obs"
 	"gqa/internal/rdf"
 	"gqa/internal/sparql"
 	"gqa/internal/store"
@@ -157,6 +158,17 @@ func (s *System) MineDictionary(sets []dict.SupportSet, maxPathLen, topK int) {
 	s.core.Dict = d
 }
 
+// Metrics returns a point-in-time snapshot of every pipeline metric —
+// counters, gauges, and histogram states, keyed by metric name with its
+// rendered label set. Metrics are process-wide (all Systems share one
+// registry, as all questions share one process).
+func (s *System) Metrics() map[string]any { return obs.Default.Snapshot() }
+
+// WriteMetrics writes every pipeline metric in the Prometheus text
+// exposition format — the payload of gqa-serve's /metrics endpoint,
+// exposed here so any host process can mount its own scrape handler.
+func (s *System) WriteMetrics(w io.Writer) error { return obs.Default.WritePrometheus(w) }
+
 // Graph exposes the underlying triple store (read-only use expected).
 func (s *System) Graph() *store.Graph { return s.graph }
 
@@ -193,6 +205,12 @@ type Answer struct {
 	// Understanding and Total are the stage timings of Figure 6.
 	Understanding time.Duration
 	Total         time.Duration
+	// Trace is the question's span tree — per-stage timings and counters
+	// down to individual matcher rounds — when the call was traced
+	// (AnswerTraced, ExplainContext, or a context carrying obs.WithTrace).
+	// Nil on untraced calls: tracing is strictly opt-in and the disabled
+	// path costs nothing. Render it with Trace.Tree() or Trace.JSON().
+	Trace *obs.Trace
 }
 
 // Answer runs the full online pipeline on a natural-language question.
@@ -244,28 +262,22 @@ func (s *System) Query(query string) (*sparql.Result, error) {
 // Explain answers a question and additionally renders each top match:
 // which entities and predicate paths realized the query graph — the
 // resolved disambiguation of §4.2.1.
-func (s *System) Explain(question string) (ans *Answer, lines []string, err error) {
+func (s *System) Explain(question string) (*Answer, []string, error) {
+	return s.ExplainContext(context.Background(), question)
+}
+
+// ExplainContext is Explain under a context (deadline, cancellation) and
+// the system's Budget. The explain lines are read back from the answer's
+// trace — the pipeline records one "match" span per top match with the
+// rendered disambiguation as its "render" attribute — so the explain
+// output and the trace output are the same object and cannot drift.
+func (s *System) ExplainContext(ctx context.Context, question string) (ans *Answer, lines []string, err error) {
 	defer recoverPipeline("explain", question, &err)
-	res, err := s.core.Answer(question)
+	ans, err = s.AnswerTraced(ctx, question)
 	if err != nil {
 		return nil, nil, err
 	}
-	ans = s.buildAnswer(res)
-	for _, m := range res.Matches {
-		line := fmt.Sprintf("score=%.3f:", m.Score)
-		for vi, u := range m.Assignment {
-			label := s.graph.LabelOf(u)
-			if m.Via[vi] != store.None {
-				label += " (a " + s.graph.LabelOf(m.Via[vi]) + ")"
-			}
-			line += fmt.Sprintf(" %q→%s", res.Query.Vertices[vi].Arg.Text, label)
-		}
-		for ei, p := range m.EdgePaths {
-			line += fmt.Sprintf(" [%s via %s]", res.Query.Edges[ei].Phrase.Text, p.Render(s.graph))
-		}
-		lines = append(lines, line)
-	}
-	return ans, lines, nil
+	return ans, ans.Trace.FindAttrs("match", "render"), nil
 }
 
 // ErrNoAnswer is a sentinel some callers prefer over inspecting Failure.

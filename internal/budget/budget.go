@@ -179,6 +179,16 @@ func (t *Tracker) Exhausted() string {
 // Done reports whether the budget is exhausted.
 func (t *Tracker) Done() bool { return t != nil && t.reason.Load() != nil }
 
+// Spent reports the resources consumed so far — the per-question "budget
+// spent" numbers the observability layer records on trace spans. All
+// zeros on the nil (unlimited) tracker.
+func (t *Tracker) Spent() (steps, candidates, rows int64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	return t.steps.Load(), t.cands.Load(), t.rows.Load()
+}
+
 func (t *Tracker) checkSignals() bool {
 	if t.hasDeadline && !time.Now().Before(t.deadline) {
 		t.fail(&reasonDeadline)

@@ -14,7 +14,26 @@ import (
 	"gqa/internal/budget"
 	"gqa/internal/dict"
 	"gqa/internal/faultpoint"
+	"gqa/internal/obs"
 	"gqa/internal/store"
+)
+
+// Matcher metrics. The per-unit counts accumulate in matcher-local atomics
+// during the search and flush here once per FindTopKMatches call, so the
+// hot extend loop adds no registry traffic. The workers gauge tracks pool
+// occupancy: how many matcher goroutines exist right now across all
+// in-flight questions.
+var (
+	matchRoundsTotal = obs.DefaultCounter("gqa_core_match_rounds_total",
+		"TA rounds executed across all searches.")
+	matchSeedsTotal = obs.DefaultCounter("gqa_core_match_seeds_total",
+		"Seed explorations run (class candidates unrolled to instances).")
+	matchStepsTotal = obs.DefaultCounter("gqa_core_match_steps_total",
+		"Search extend() steps across all workers.")
+	matchRecordsTotal = obs.DefaultCounter("gqa_core_match_records_total",
+		"Complete matches offered to the shared top-k result set.")
+	matchWorkers = obs.DefaultGauge("gqa_core_match_workers",
+		"Matcher worker goroutines currently running (pool occupancy).")
 )
 
 // Match is a subgraph match of Q^S over the RDF graph (Definition 3): an
@@ -65,6 +84,13 @@ type MatchOptions struct {
 	// reason. The Tracker is shared by all workers (its counters are
 	// atomic), so enforcement stays exact under concurrency.
 	Budget *budget.Tracker
+	// Span, when non-nil, receives the search's trace: per-round child
+	// spans (seed counts, result-set record/keep deltas, round timing) and
+	// whole-search attributes. Nil — the default — disables tracing with
+	// zero overhead: no span is touched from worker goroutines either way
+	// (only the coordinator writes), so the hot path never synchronizes on
+	// the trace.
+	Span *obs.Span
 }
 
 func (o *MatchOptions) defaults() {
@@ -93,19 +119,39 @@ type matcher struct {
 	adj    [][]int             // vertex → incident edge indices
 	res    *resultSet          // shared top-k (mutex-guarded)
 	probes atomic.Int64        // anchored searches performed (stats)
+	// seeds and steps aggregate per-worker effort exactly: every worker
+	// adds to the shared atomics, so the totals are independent of how the
+	// pool scheduled the work — MatchStats reads them once after the pool
+	// has joined and reports identical values at every parallelism level
+	// (for a non-truncated search).
+	seeds atomic.Int64 // runSeed calls (class candidates unrolled)
+	steps atomic.Int64 // extend() invocations across all workers
 
 	panicMu    sync.Mutex
 	panicVal   any
 	panicStack []byte
 }
 
-// MatchStats reports search effort, used by the ablation benchmarks.
+// MatchStats reports search effort, used by the ablation benchmarks and
+// surfaced on trace spans. The per-worker counts (Seeds, Steps,
+// MatchesFound) aggregate through shared atomics, so for a non-truncated
+// search every non-timing field is identical at every parallelism level.
 type MatchStats struct {
 	AnchorsProbed  int
 	CandidatesKept int
 	CandidatesCut  int // removed by neighborhood pruning
 	Rounds         int
 	EarlyStopped   bool
+	// Seeds counts seed explorations run (anchored searches after class
+	// candidates unroll to their instances).
+	Seeds int64
+	// Steps counts extend() invocations summed exactly across workers.
+	Steps int64
+	// MatchesFound counts complete matches offered to the result set
+	// (record attempts, before dedup).
+	MatchesFound int64
+	// MatchesKept is the number of distinct assignments retained.
+	MatchesKept int
 	// Parallelism is the resolved worker count the search ran with.
 	Parallelism int
 	// Truncated is the budget-exhaustion reason ("deadline", "canceled",
@@ -175,9 +221,9 @@ func FindTopKMatches(g *store.Graph, q *QueryGraph, opts MatchOptions) ([]Match,
 		// determinism outranks speed for a query shape with no candidate
 		// signal.
 		m.enumerateUnanchored()
-		stats.AnchorsProbed = int(m.probes.Load())
-		stats.Truncated = opts.Budget.Exhausted()
-		return m.res.harvest(opts.TopK), stats
+		matches := m.res.harvest(opts.TopK)
+		m.finishStats(&stats, len(matches))
+		return matches, stats
 	}
 
 	maxLen := 0
@@ -188,7 +234,21 @@ func FindTopKMatches(g *store.Graph, q *QueryGraph, opts MatchOptions) ([]Match,
 	}
 	for round := 0; round < maxLen && !opts.Budget.Done(); round++ {
 		stats.Rounds++
-		m.runTasks(m.roundTasks(anchors, round))
+		tasks := m.roundTasks(anchors, round)
+		// Per-round trace spans are written by the coordinator only — the
+		// round barrier has already joined the pool, so no worker touches
+		// the trace and the hot path never synchronizes on it.
+		rsp := opts.Span.Child("round")
+		recBefore, keptBefore := m.res.counts()
+		m.runTasks(tasks)
+		if rsp.Enabled() {
+			recAfter, keptAfter := m.res.counts()
+			rsp.SetInt("round", int64(round))
+			rsp.SetInt("seeds", int64(len(tasks)))
+			rsp.SetInt("recorded", recAfter-recBefore)
+			rsp.SetInt("kept", keptAfter-keptBefore)
+		}
+		rsp.Finish()
 		if m.aborted() {
 			break
 		}
@@ -198,9 +258,45 @@ func FindTopKMatches(g *store.Graph, q *QueryGraph, opts MatchOptions) ([]Match,
 		}
 	}
 	m.rethrow()
+	matches := m.res.harvest(opts.TopK)
+	m.finishStats(&stats, len(matches))
+	return matches, stats
+}
+
+// finishStats folds the matcher's shared atomics into the caller's stats,
+// flushes the per-search deltas into the process metrics, and annotates the
+// search span (a no-op on the nil span). Runs once per search, after every
+// worker has joined, so the reads are quiescent and exact.
+func (m *matcher) finishStats(stats *MatchStats, returned int) {
 	stats.AnchorsProbed = int(m.probes.Load())
-	stats.Truncated = opts.Budget.Exhausted()
-	return m.res.harvest(opts.TopK), stats
+	stats.Seeds = m.seeds.Load()
+	stats.Steps = m.steps.Load()
+	stats.MatchesFound = m.res.attempts.Load()
+	stats.MatchesKept = int(m.res.count.Load())
+	stats.Truncated = m.opts.Budget.Exhausted()
+
+	matchRoundsTotal.Add(int64(stats.Rounds))
+	matchSeedsTotal.Add(stats.Seeds)
+	matchStepsTotal.Add(stats.Steps)
+	matchRecordsTotal.Add(stats.MatchesFound)
+
+	sp := m.opts.Span
+	if !sp.Enabled() {
+		return
+	}
+	sp.SetInt("rounds", int64(stats.Rounds))
+	sp.SetInt("seeds", stats.Seeds)
+	sp.SetInt("steps", stats.Steps)
+	sp.SetInt("candidates_kept", int64(stats.CandidatesKept))
+	sp.SetInt("candidates_cut", int64(stats.CandidatesCut))
+	sp.SetInt("matches_found", stats.MatchesFound)
+	sp.SetInt("matches_kept", int64(stats.MatchesKept))
+	sp.SetInt("returned", int64(returned))
+	sp.SetInt("workers", int64(stats.Parallelism))
+	sp.SetBool("early_stopped", stats.EarlyStopped)
+	if stats.Truncated != "" {
+		sp.SetStr("truncated", stats.Truncated)
+	}
 }
 
 // seedTask is one unit of parallel work: enumerate every match in which
@@ -261,10 +357,12 @@ func (m *matcher) runTasks(tasks []seedTask) {
 	}
 	ch := make(chan *seedTask)
 	var wg sync.WaitGroup
+	matchWorkers.Add(int64(p))
 	for w := 0; w < p; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer matchWorkers.Add(-1)
 			for t := range ch {
 				m.runSeed(t)
 			}
@@ -292,6 +390,7 @@ func (m *matcher) runSeed(t *seedTask) {
 		}
 	}()
 	faultpoint.Hit(faultpoint.MatcherWorker)
+	m.seeds.Add(1)
 	if !m.opts.Budget.Candidate() {
 		return
 	}
@@ -467,10 +566,17 @@ func (m *matcher) thresholdReached(anchors []int, round int) bool {
 type resultSet struct {
 	maxMatches int
 	count      atomic.Int64 // == len(found), read lock-free by full()
+	attempts   atomic.Int64 // record calls (complete matches offered)
 
 	mu      sync.Mutex
 	found   map[string]*Match
 	results []*Match // maintained sorted by descending score
+}
+
+// counts returns the cumulative record attempts and distinct matches kept —
+// the coordinator reads deltas around each round for the round trace span.
+func (rs *resultSet) counts() (attempts, kept int64) {
+	return rs.attempts.Load(), rs.count.Load()
 }
 
 func newResultSet(maxMatches int) *resultSet {
@@ -489,6 +595,7 @@ func (rs *resultSet) full() bool {
 // per key is its maximum over all discoveries, so the recorded state is
 // independent of the order workers find matches in.
 func (rs *resultSet) record(match *Match) {
+	rs.attempts.Add(1)
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	if len(rs.found) >= rs.maxMatches {
@@ -618,6 +725,7 @@ func (m *matcher) extend(st *searchState) {
 	if m.res.full() {
 		return
 	}
+	m.steps.Add(1)
 	faultpoint.Hit(faultpoint.MatcherExtend)
 	if !m.opts.Budget.Step() {
 		return

@@ -36,10 +36,14 @@ func TestQuickParallelIdenticalToSequential(t *testing.T) {
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("seed %d: P=%d matches differ\n got %v\nwant %v", seed, p, got, want)
 			}
-			if gotStats.Rounds != wantStats.Rounds ||
-				gotStats.EarlyStopped != wantStats.EarlyStopped ||
-				gotStats.AnchorsProbed != wantStats.AnchorsProbed {
-				t.Fatalf("seed %d: P=%d stats differ: %+v vs %+v", seed, p, gotStats, wantStats)
+			// Every non-timing stat must aggregate exactly across the
+			// pool: per-seed step and expansion counts flow through
+			// shared atomics, so the totals are scheduling-independent.
+			// Only the resolved worker count may differ.
+			norm := gotStats
+			norm.Parallelism = wantStats.Parallelism
+			if !reflect.DeepEqual(norm, wantStats) {
+				t.Fatalf("seed %d: P=%d stats differ:\n got %+v\nwant %+v", seed, p, gotStats, wantStats)
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 	"strings"
 	"time"
@@ -11,8 +12,45 @@ import (
 	"gqa/internal/dict"
 	"gqa/internal/linker"
 	"gqa/internal/nlp"
+	"gqa/internal/obs"
 	"gqa/internal/store"
 )
+
+// Pipeline metrics. Stage latencies are labeled by the Timing stages of
+// Table 3 / Figure 6; degradations are labeled by the budget-exhaustion
+// reason. Both label sets are closed, so every series is pre-registered
+// and the answer path only does atomic updates.
+var (
+	questionsTotal = obs.DefaultCounter("gqa_core_questions_total",
+		"Natural-language questions answered (aggregation rewrites counted once).")
+	failuresTotal = obs.DefaultCounter("gqa_core_failures_total",
+		"Questions that produced no answer (any Table 10 failure kind).")
+	stageSeconds = map[string]*obs.Histogram{
+		"parse":         stageHist("parse"),
+		"understanding": stageHist("understanding"),
+		"evaluation":    stageHist("evaluation"),
+		"total":         stageHist("total"),
+	}
+	degradedTotal = map[string]*obs.Counter{
+		budget.ReasonDeadline:   degradedCounter(budget.ReasonDeadline),
+		budget.ReasonCanceled:   degradedCounter(budget.ReasonCanceled),
+		budget.ReasonSteps:      degradedCounter(budget.ReasonSteps),
+		budget.ReasonCandidates: degradedCounter(budget.ReasonCandidates),
+		budget.ReasonRows:       degradedCounter(budget.ReasonRows),
+	}
+)
+
+func stageHist(stage string) *obs.Histogram {
+	return obs.DefaultHistogram("gqa_core_stage_seconds",
+		"Answer-pipeline stage latency (Timing stages of Figure 6).",
+		nil, obs.L("stage", stage))
+}
+
+func degradedCounter(reason string) *obs.Counter {
+	return obs.DefaultCounter("gqa_core_degraded_total",
+		"Degraded (budget-truncated) answers by exhaustion reason.",
+		obs.L("reason", reason))
+}
 
 // System is the assembled RDF Q/A engine: graph + paraphrase dictionary +
 // entity linker, with the options threading through both online stages.
@@ -23,6 +61,11 @@ type System struct {
 	Opts   Options
 
 	superlatives map[string]Superlative // see RegisterSuperlative
+
+	// rewritten marks the System copy that answers a rewritten question
+	// inside the aggregation extension (answerNonAggregate), so the metrics
+	// count each user-visible question exactly once.
+	rewritten bool
 }
 
 // Options configures the online pipeline.
@@ -153,19 +196,28 @@ func (s *System) Answer(question string) (*Result, error) {
 // carries the best partial top-k found so far and Degraded names the
 // exhausted resource. With a Background context and zero limits the
 // behavior is bit-identical to Answer before budgets existed.
-func (s *System) AnswerContext(ctx context.Context, question string) (*Result, error) {
+func (s *System) AnswerContext(ctx context.Context, question string) (out *Result, err error) {
 	if strings.TrimSpace(question) == "" {
 		return nil, errors.New("core: empty question")
 	}
 	tr := budget.New(ctx, s.Opts.Budget)
+	sp := obs.TraceFrom(ctx).Root()
+	if !s.rewritten {
+		questionsTotal.Inc()
+	}
+	defer func() { s.finishAnswer(sp, tr, out) }()
 	res := &Result{Question: question}
 	start := time.Now()
 
 	// ---- Stage 1: question understanding (§4.1).
+	psp := sp.Child("nlp.parse")
 	y, err := nlp.Parse(question)
 	if err != nil {
+		psp.Finish()
 		return nil, err
 	}
+	psp.SetInt("tokens", int64(y.Size()))
+	psp.Finish()
 	res.Tree = y
 	res.Timing.Parse = time.Since(start)
 
@@ -181,6 +233,7 @@ func (s *System) AnswerContext(ctx context.Context, question string) (*Result, e
 		return res, nil
 	}
 
+	usp := sp.Child("core.understand")
 	res.Relations = ExtractRelations(y, s.Dict, ExtractOptions{
 		DisableHeuristicRules: s.Opts.DisableHeuristicRules,
 	})
@@ -190,6 +243,7 @@ func (s *System) AnswerContext(ctx context.Context, question string) (*Result, e
 		if q := s.typeOnlyQuery(y); q != nil {
 			res.Query = q
 		} else {
+			usp.Finish()
 			res.Failure = FailureRelationExtraction
 			res.Timing.Understanding = time.Since(start)
 			res.Timing.Total = res.Timing.Understanding
@@ -200,6 +254,17 @@ func (s *System) AnswerContext(ctx context.Context, question string) (*Result, e
 			MaxVertexCandidates: s.Opts.MaxVertexCandidates,
 		})
 	}
+	if usp.Enabled() {
+		usp.SetInt("relations", int64(len(res.Relations)))
+		usp.SetInt("vertices", int64(len(res.Query.Vertices)))
+		usp.SetInt("edges", int64(len(res.Query.Edges)))
+		cands := 0
+		for _, v := range res.Query.Vertices {
+			cands += len(v.Candidates)
+		}
+		usp.SetInt("candidates", int64(cands))
+	}
+	usp.Finish()
 	res.Timing.Understanding = time.Since(start)
 
 	// Entity-linking failure: a constrained vertex with no candidates.
@@ -215,18 +280,43 @@ func (s *System) AnswerContext(ctx context.Context, question string) (*Result, e
 	// understanding is caught here, before the expensive search starts.
 	tr.Check()
 	evalStart := time.Now()
+	msp := sp.Child("core.match")
+	pxBuilds, pxHits := store.PredIndexStats()
 	matches, stats := FindTopKMatches(s.Graph, res.Query, MatchOptions{
 		TopK:           s.Opts.TopK,
 		DisablePruning: s.Opts.DisablePruning,
 		Exhaustive:     s.Opts.Exhaustive,
 		Parallelism:    s.Opts.Parallelism,
 		Budget:         tr,
+		Span:           msp,
 	})
+	if msp.Enabled() {
+		// Predicate-index traffic is process-global; under concurrent
+		// questions the delta includes neighbors' lookups, but it still
+		// tells cold cache (builds dominate) from warm (hits dominate).
+		b2, h2 := store.PredIndexStats()
+		msp.SetInt("predindex_builds", b2-pxBuilds)
+		msp.SetInt("predindex_hits", h2-pxHits)
+	}
+	msp.Finish()
 	res.Matches = matches
 	res.Stats = stats
 	res.Degraded = stats.Truncated
 	res.Timing.Evaluation = time.Since(evalStart)
 	res.Timing.Total = time.Since(start)
+
+	// Per-match spans carry the rendered disambiguation — the single
+	// source Explain reads back (FindAttrs "match"/"render"), so explain
+	// output and trace output cannot drift. Rendering costs label lookups,
+	// so it runs only under an enabled trace.
+	if sp.Enabled() {
+		for i := range matches {
+			m := sp.Child("match")
+			m.SetFloat("score", matches[i].Score)
+			m.SetStr("render", RenderMatch(s.Graph, res.Query, &matches[i]))
+			m.Finish()
+		}
+	}
 
 	sel := res.Query.SelectVertex()
 	if sel < 0 {
@@ -262,7 +352,71 @@ func (s *System) AnswerContext(ctx context.Context, question string) (*Result, e
 func (s *System) answerNonAggregate(ctx context.Context, question string) (*Result, error) {
 	s2 := *s
 	s2.Opts.EnableAggregation = false
+	s2.rewritten = true
 	return s2.AnswerContext(ctx, question)
+}
+
+// finishAnswer flushes the per-question metrics and root-span attributes
+// once the pipeline has its result (deferred by AnswerContext). The
+// rewritten inner call of the aggregation extension skips both — the
+// user-visible question is counted once and owns the root span's
+// attributes; the inner call still contributes child spans.
+func (s *System) finishAnswer(sp *obs.Span, tr *budget.Tracker, res *Result) {
+	if res == nil || s.rewritten {
+		return
+	}
+	if res.Timing.Parse > 0 {
+		stageSeconds["parse"].ObserveDuration(res.Timing.Parse)
+	}
+	if res.Timing.Understanding > 0 {
+		stageSeconds["understanding"].ObserveDuration(res.Timing.Understanding)
+	}
+	if res.Timing.Evaluation > 0 {
+		stageSeconds["evaluation"].ObserveDuration(res.Timing.Evaluation)
+	}
+	if res.Timing.Total > 0 {
+		stageSeconds["total"].ObserveDuration(res.Timing.Total)
+	}
+	if res.Failure != FailureNone {
+		failuresTotal.Inc()
+	}
+	if c, ok := degradedTotal[res.Degraded]; ok {
+		c.Inc()
+	}
+	if !sp.Enabled() {
+		return
+	}
+	if res.Failure != FailureNone {
+		sp.SetStr("failure", res.Failure.String())
+	}
+	if res.Degraded != "" {
+		sp.SetStr("degraded", res.Degraded)
+	}
+	sp.SetInt("answers", int64(len(res.Answers)))
+	steps, cands, rows := tr.Spent()
+	if steps+cands+rows > 0 {
+		sp.SetInt("budget_steps", steps)
+		sp.SetInt("budget_candidates", cands)
+		sp.SetInt("budget_rows", rows)
+	}
+}
+
+// RenderMatch renders one match in the explain format: the resolved
+// disambiguation of §4.2.1 — which entity each argument mapped to (with
+// the class justifying it) and which predicate path realized each edge.
+func RenderMatch(g *store.Graph, q *QueryGraph, m *Match) string {
+	line := fmt.Sprintf("score=%.3f:", m.Score)
+	for vi, u := range m.Assignment {
+		label := g.LabelOf(u)
+		if m.Via[vi] != store.None {
+			label += " (a " + g.LabelOf(m.Via[vi]) + ")"
+		}
+		line += fmt.Sprintf(" %q→%s", q.Vertices[vi].Arg.Text, label)
+	}
+	for ei, p := range m.EdgePaths {
+		line += fmt.Sprintf(" [%s via %s]", q.Edges[ei].Phrase.Text, p.Render(g))
+	}
+	return line
 }
 
 // isAggregation detects questions outside the approach's reach: counting

@@ -9,7 +9,19 @@ import (
 	"strings"
 
 	"gqa/internal/nlp"
+	"gqa/internal/obs"
 	"gqa/internal/store"
+)
+
+// Dictionary metrics: lookup traffic and hit rate of the paraphrase
+// dictionary (Algorithm 2's probes), plus the inverted-index word probes.
+var (
+	dictLookups = obs.DefaultCounter("gqa_dict_lookups_total",
+		"Paraphrase dictionary lookups (exact lemma-key probes).")
+	dictLookupHits = obs.DefaultCounter("gqa_dict_lookup_hits_total",
+		"Paraphrase dictionary lookups that found a phrase.")
+	dictWordProbes = obs.DefaultCounter("gqa_dict_word_probes_total",
+		"Inverted-index word probes (Algorithm 2 steps 1-2).")
 )
 
 // Entry is one candidate interpretation of a relation phrase: a predicate
@@ -79,18 +91,27 @@ func dedupeWords(ws []string) []string {
 // Lookup returns the phrase whose lemma key matches text, if any.
 func (d *Dictionary) Lookup(text string) (*Phrase, bool) {
 	p, ok := d.phrases[Key(text)]
+	dictLookups.Inc()
+	if ok {
+		dictLookupHits.Inc()
+	}
 	return p, ok
 }
 
 // LookupLemmas returns the phrase for an exact lemma sequence.
 func (d *Dictionary) LookupLemmas(lemmas []string) (*Phrase, bool) {
 	p, ok := d.phrases[strings.Join(lemmas, " ")]
+	dictLookups.Inc()
+	if ok {
+		dictLookupHits.Inc()
+	}
 	return p, ok
 }
 
 // PhrasesWithWord returns every phrase containing the lemma w — the
 // inverted-index probe of Algorithm 2 (steps 1–2).
 func (d *Dictionary) PhrasesWithWord(w string) []*Phrase {
+	dictWordProbes.Inc()
 	keys := d.inverted[nlp.Lemma(strings.ToLower(w), "")]
 	out := make([]*Phrase, 0, len(keys))
 	for _, k := range keys {

@@ -11,8 +11,16 @@ import (
 	"fmt"
 	"strings"
 
+	"gqa/internal/obs"
 	"gqa/internal/store"
 )
+
+// followPathCalls counts predicate-path evaluations — the matcher's
+// per-edge traversal unit and the dominant cost of query evaluation. One
+// atomic op per call; the call itself allocates route state, so the
+// counter is noise next to the work it counts.
+var followPathCalls = obs.DefaultCounter("gqa_dict_followpath_total",
+	"Predicate-path traversals (FollowPath calls) during matching.")
 
 // Step is one edge of a predicate path: the predicate and whether the edge
 // is traversed along its direction (Forward) or against it.
@@ -224,6 +232,7 @@ func routesIntersect(f, b halfPath, meet, from, to store.ID) bool {
 // (respecting step directions), visiting only simple routes. It is used at
 // query time to evaluate predicate-path edges of the semantic query graph.
 func FollowPath(g *store.Graph, v store.ID, p Path) []store.ID {
+	followPathCalls.Inc()
 	type state struct {
 		verts []store.ID
 	}

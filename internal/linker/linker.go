@@ -13,10 +13,23 @@ package linker
 import (
 	"sort"
 	"strings"
+	"time"
 	"unicode"
 
 	"gqa/internal/nlp"
+	"gqa/internal/obs"
 	"gqa/internal/store"
+)
+
+// Linking metrics: mention traffic, how many referents each mention fans
+// out to (before the limit cut), and lookup latency.
+var (
+	linkTotal = obs.DefaultCounter("gqa_linker_link_total",
+		"Mentions linked against the entity/class index.")
+	linkCandidates = obs.DefaultCounter("gqa_linker_candidates_total",
+		"Candidate referents returned across all Link calls (post-limit).")
+	linkSeconds = obs.DefaultHistogram("gqa_linker_link_seconds",
+		"Entity-linking latency per mention.", nil)
 )
 
 // Candidate is one possible referent of a mention.
@@ -162,6 +175,8 @@ func dedupe(ws []string) []string {
 // Link returns up to limit candidates for the mention, ranked by
 // descending confidence. A limit ≤ 0 means no cap.
 func (l *Linker) Link(mention string, limit int) []Candidate {
+	start := time.Now()
+	linkTotal.Inc()
 	mToks := normalizeTokens(mention)
 	if len(mToks) == 0 {
 		return nil
@@ -212,6 +227,8 @@ func (l *Linker) Link(mention string, limit int) []Candidate {
 	if limit > 0 && len(out) > limit {
 		out = out[:limit]
 	}
+	linkCandidates.Add(int64(len(out)))
+	linkSeconds.ObserveDuration(time.Since(start))
 	return out
 }
 

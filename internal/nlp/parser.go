@@ -3,6 +3,19 @@ package nlp
 import (
 	"errors"
 	"fmt"
+	"time"
+
+	"gqa/internal/obs"
+)
+
+// Parse-stage metrics (§4.1's dependency-tree construction).
+var (
+	parseTotal = obs.DefaultCounter("gqa_nlp_parse_total",
+		"Questions tokenized, tagged, and dependency-parsed.")
+	parseErrors = obs.DefaultCounter("gqa_nlp_parse_errors_total",
+		"Parses rejected (empty input or an inconsistent tree).")
+	parseSeconds = obs.DefaultHistogram("gqa_nlp_parse_seconds",
+		"Dependency-parse latency.", nil)
 )
 
 // Parse tokenizes, tags and dependency-parses a question, returning its
@@ -11,15 +24,20 @@ import (
 // produces a well-formed tree (worst case, unattachable tokens hang off the
 // root with the generic "dep" relation, as the Stanford parser also does).
 func Parse(question string) (*DepTree, error) {
+	start := time.Now()
+	parseTotal.Inc()
 	toks := Tagged(question)
 	if len(toks) == 0 {
+		parseErrors.Inc()
 		return nil, errors.New("nlp: empty question")
 	}
 	p := &parser{toks: toks}
 	tree := p.parse()
 	if err := tree.Validate(); err != nil {
+		parseErrors.Inc()
 		return nil, fmt.Errorf("nlp: internal parse inconsistency: %w", err)
 	}
+	parseSeconds.ObserveDuration(time.Since(start))
 	return tree, nil
 }
 

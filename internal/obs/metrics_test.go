@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildFixtureRegistry populates a private registry with one metric of
+// every kind, including labeled series and label values that exercise the
+// escaping rules (backslash, double quote, newline).
+func buildFixtureRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("gqa_test_questions_total", "Questions answered.")
+	c.Add(41)
+	c.Inc()
+	r.Counter("gqa_test_degraded_total", "Degraded answers by reason.", L("reason", "deadline")).Add(3)
+	r.Counter("gqa_test_degraded_total", "Degraded answers by reason.", L("reason", "steps")).Add(1)
+	r.Counter("gqa_test_escape_total", `Help with a backslash \ and
+a newline.`, L("q", "say \"hi\"\\\nbye")).Inc()
+
+	g := r.Gauge("gqa_test_pool_workers", "Live matcher workers.")
+	g.Set(7)
+	g.Add(-3)
+
+	h := r.Histogram("gqa_test_stage_seconds", "Stage latency.", []float64{0.001, 0.01, 0.1}, L("stage", "parse"))
+	for _, v := range []float64{0.0004, 0.002, 0.0025, 0.05, 3} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestPrometheusExpositionGolden locks the text exposition format —
+// HELP/TYPE grouping, counter/gauge/histogram rendering, cumulative
+// buckets, +Inf, and label escaping — against a golden file.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := buildFixtureRegistry()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "exposition.prom", b.String())
+}
+
+// TestJSONDumpGolden locks the expvar-style JSON dump the same way.
+func TestJSONDumpGolden(t *testing.T) {
+	r := buildFixtureRegistry()
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "dump.json", b.String())
+}
+
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestRegisterIdempotent: re-registering a series returns the same metric;
+// a kind clash panics.
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("gqa_test_x_total", "x")
+	b := r.Counter("gqa_test_x_total", "x")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	a2 := r.Counter("gqa_test_x_total", "x", L("k", "v"))
+	if a2 == a {
+		t.Fatal("distinct label sets share a series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash did not panic")
+		}
+	}()
+	r.Gauge("gqa_test_x_total", "x")
+}
+
+// TestSnapshotValues: the snapshot map carries current values.
+func TestSnapshotValues(t *testing.T) {
+	r := buildFixtureRegistry()
+	s := r.Snapshot()
+	if got := s["gqa_test_questions_total"]; got != int64(42) {
+		t.Fatalf("counter snapshot = %v, want 42", got)
+	}
+	if got := s["gqa_test_pool_workers"]; got != int64(4) {
+		t.Fatalf("gauge snapshot = %v, want 4", got)
+	}
+	h, ok := s[`gqa_test_stage_seconds{stage="parse"}`].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram snapshot missing: %v", s)
+	}
+	if h["count"] != int64(5) {
+		t.Fatalf("histogram count = %v, want 5", h["count"])
+	}
+}
+
+// TestConcurrentUpdates: counters and histograms stay exact under
+// concurrent hammering (run with -race).
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("gqa_test_c_total", "c")
+	h := r.Histogram("gqa_test_h_seconds", "h", []float64{1, 10}, L("stage", "x"))
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if want := float64(workers*per) * 0.5; h.Sum() != want {
+		t.Fatalf("histogram sum = %v, want %v", h.Sum(), want)
+	}
+}

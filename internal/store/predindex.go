@@ -1,6 +1,28 @@
 package store
 
-import "sync"
+import (
+	"sync"
+
+	"gqa/internal/obs"
+)
+
+// Predicate-index metrics: a hit serves a grouped lookup from the cache, a
+// build groups one vertex's adjacency list (the miss path — every build is
+// a prior miss). dict.FollowPath drives both from the matcher hot loop, so
+// each is a single atomic op.
+var (
+	predIndexBuilds = obs.DefaultCounter("gqa_store_predindex_builds_total",
+		"Predicate-grouped adjacency cache entries built (cache misses).")
+	predIndexHits = obs.DefaultCounter("gqa_store_predindex_hits_total",
+		"Predicate-grouped adjacency lookups served from the cache.")
+)
+
+// PredIndexStats returns the cumulative predicate-index build (miss) and
+// hit counts — read by the matcher to record per-question deltas on the
+// evaluation trace span.
+func PredIndexStats() (builds, hits int64) {
+	return predIndexBuilds.Value(), predIndexHits.Value()
+}
 
 // predIndexMinDegree is the degree below which OutByPred/InByPred scan the
 // adjacency list directly instead of building a cache entry: grouping a
@@ -91,8 +113,10 @@ func (g *Graph) byPredDir(edges []Edge, v, p ID, incoming bool) []ID {
 	}
 	px := &g.pidx
 	if e, ok := px.lookup(incoming, v); ok {
+		predIndexHits.Inc()
 		return e[p]
 	}
+	predIndexBuilds.Inc()
 	grouped := group(edges)
 	px.mu.Lock()
 	if incoming {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"gqa/internal/budget"
+	"gqa/internal/obs"
 	"gqa/internal/sparql"
 )
 
@@ -102,6 +103,23 @@ func (s *System) AnswerContext(ctx context.Context, question string) (ans *Answe
 		return nil, err
 	}
 	return s.buildAnswer(res), nil
+}
+
+// AnswerTraced is AnswerContext with per-question tracing enabled: the
+// returned Answer carries the question's span tree (Answer.Trace) — stage
+// timings, candidate counts, matcher rounds, budget spent — rendered with
+// Trace.Tree() or Trace.JSON(). Tracing is per-call: concurrent untraced
+// questions still take the zero-overhead nil-trace path. A caller that
+// already carries a trace on ctx (obs.WithTrace) can use AnswerContext
+// directly; this wrapper exists so the common case needs no obs import.
+func (s *System) AnswerTraced(ctx context.Context, question string) (*Answer, error) {
+	tr := obs.NewTrace("answer", question)
+	ans, err := s.AnswerContext(obs.WithTrace(ctx, tr), question)
+	tr.Finish()
+	if ans != nil {
+		ans.Trace = tr
+	}
+	return ans, err
 }
 
 // QueryContext evaluates a SPARQL query under ctx and the system's
