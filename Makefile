@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race fuzz bench serve-smoke
+.PHONY: tier1 vet build test race fuzz bench bench-store serve-smoke
 
 tier1: vet build race
 
@@ -35,3 +35,12 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Frozen-snapshot benchmarks: the store microbenchmarks (frozen CSR vs
+# mutable adjacency), the matcher benchmark, and the gqa-bench store
+# experiment that records the comparison in BENCH_store.json. Use
+# -count 5 output with benchstat to compare runs (see EXPERIMENTS.md).
+bench-store:
+	$(GO) test -run XXX -bench 'BenchmarkHasAdjacentPred|BenchmarkOutByPred|BenchmarkStoreMatchBoundS|BenchmarkStoreHas|BenchmarkFreeze' -benchmem -count 5 ./internal/store/
+	$(GO) test -run XXX -bench BenchmarkFindTopKMatches -benchmem ./internal/core/
+	$(GO) run ./cmd/gqa-bench -exp store -json BENCH_store.json

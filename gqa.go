@@ -81,10 +81,17 @@ type System struct {
 
 // NewSystem assembles a System from a loaded graph and dictionary. A nil
 // dictionary starts empty (mine one with MineDictionary).
+//
+// The graph is frozen here (see store.Graph.Freeze): the facade serves
+// every question and query from the immutable CSR snapshot, and linker
+// construction below already indexes through it. Mutating the graph after
+// construction invalidates the snapshot; the next Answer/Query call
+// re-freezes at the new mutation generation.
 func NewSystem(g *store.Graph, d *dict.Dictionary, opts Options) *System {
 	if d == nil {
 		d = dict.New()
 	}
+	g.Freeze()
 	return &System{
 		graph:  g,
 		dict:   d,

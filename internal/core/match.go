@@ -106,14 +106,23 @@ func (o *MatchOptions) defaults() {
 }
 
 // matcher carries the state of one top-k search. After planning (candidate
-// pruning, adjacency), every field except res and the panic capture is
-// read-only, so worker goroutines share the matcher freely; all mutable
-// search state lives in the per-worker searchState and the internally
-// synchronized resultSet.
+// pruning, adjacency), every field except res, the state pool, and the
+// panic capture is read-only, so worker goroutines share the matcher
+// freely; all mutable search state lives in the per-worker searchState and
+// the internally synchronized resultSet.
 type matcher struct {
-	g    *store.Graph
+	g *store.Graph
+	// sn is the graph's frozen CSR snapshot captured once at search start
+	// (nil when the graph is unfrozen). Hot probes — neighborhood pruning,
+	// per-predicate degrees for selectivity ordering — go through it
+	// directly instead of re-loading the graph's snapshot pointer per call.
+	sn   *store.Snapshot
 	q    *QueryGraph
 	opts MatchOptions
+
+	// statePool recycles searchState values (and their per-vertex/per-edge
+	// slices) across the many seeds of one search; states are reset on Get.
+	statePool sync.Pool
 
 	cands  [][]VertexCandidate // pruned candidate lists per vertex
 	adj    [][]int             // vertex → incident edge indices
@@ -179,7 +188,8 @@ type MatchStats struct {
 // on the caller's goroutine for the facade's *PipelineError conversion.
 func FindTopKMatches(g *store.Graph, q *QueryGraph, opts MatchOptions) ([]Match, MatchStats) {
 	opts.defaults()
-	m := &matcher{g: g, q: q, opts: opts, res: newResultSet(opts.MaxMatches)}
+	m := &matcher{g: g, sn: g.Frozen(), q: q, opts: opts, res: newResultSet(opts.MaxMatches)}
+	m.statePool.New = func() any { return newSearchState(len(q.Vertices), len(q.Edges)) }
 	var stats MatchStats
 	stats.Parallelism = opts.Parallelism
 
@@ -301,20 +311,26 @@ func (m *matcher) finishStats(stats *MatchStats, returned int) {
 
 // seedTask is one unit of parallel work: enumerate every match in which
 // query vertex vi is bound to entity u, justified by the class via (or
-// directly when via is store.None) with vertex confidence score.
+// directly when via is store.None) with vertex confidence score. cost is
+// the seed's cheapest incident-edge frontier, used to order the round.
 type seedTask struct {
 	vi    int
 	u     store.ID
 	via   store.ID
 	score float64
+	cost  int
 }
 
 // roundTasks expands the TA cursors at position round into per-seed work
 // items — the searchFromAnchor calls of the sequential algorithm, with
 // class candidates unrolled to their instances so the pool load-balances
-// over the real work. Expansion preserves the sequential exploration order
-// (anchors in order, instances in adjacency order): a single worker
-// replays the exact legacy search.
+// over the real work. Seeds run cheapest-first: each is costed by the
+// smallest frontier among its vertex's incident edges (the first extension
+// chooseNext would take), so selective seeds fill the top-k early and the
+// TA threshold can stop sooner. The sort is stable over a deterministic
+// expansion (anchors in order, instances in adjacency order) and the cost
+// is a pure graph statistic, so every parallelism level — and the frozen
+// and mutable paths — sees the same task order.
 func (m *matcher) roundTasks(anchors []int, round int) []seedTask {
 	var tasks []seedTask
 	for _, vi := range anchors {
@@ -325,13 +341,30 @@ func (m *matcher) roundTasks(anchors []int, round int) []seedTask {
 		m.probes.Add(1)
 		if c.IsClass {
 			for _, u := range m.g.InstancesOf(c.ID) {
-				tasks = append(tasks, seedTask{vi: vi, u: u, via: c.ID, score: c.Score})
+				tasks = append(tasks, seedTask{vi: vi, u: u, via: c.ID, score: c.Score, cost: m.seedCost(vi, u)})
 			}
 		} else {
-			tasks = append(tasks, seedTask{vi: vi, u: c.ID, via: store.None, score: c.Score})
+			tasks = append(tasks, seedTask{vi: vi, u: c.ID, via: store.None, score: c.Score, cost: m.seedCost(vi, c.ID)})
 		}
 	}
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].cost < tasks[j].cost })
 	return tasks
+}
+
+// seedCost estimates the first extension a seed (vi, u) pays: the smallest
+// frontier among vi's incident edges, mirroring the choice chooseNext will
+// make from the seed state.
+func (m *matcher) seedCost(vi int, u store.ID) int {
+	best := -1
+	for _, ei := range m.adj[vi] {
+		if c := m.frontierCost(u, ei); best < 0 || c < best {
+			best = c
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
 }
 
 // runTasks executes one round's seeds. With an effective parallelism of
@@ -394,13 +427,25 @@ func (m *matcher) runSeed(t *seedTask) {
 	if !m.opts.Budget.Candidate() {
 		return
 	}
-	st := newSearchState(len(m.q.Vertices), len(m.q.Edges))
+	st := m.getState()
+	defer m.putState(st)
 	st.assign[t.vi] = t.u
 	st.via[t.vi] = t.via
 	st.score[t.vi] = t.score
 	st.done[t.vi] = true
 	m.extend(st)
 }
+
+// getState takes a reset searchState from the pool; putState returns it.
+// Pooling matters: a search runs one state per seed (hundreds per round),
+// and each carries six per-vertex/per-edge slices.
+func (m *matcher) getState() *searchState {
+	st := m.statePool.Get().(*searchState)
+	st.reset()
+	return st
+}
+
+func (m *matcher) putState(st *searchState) { m.statePool.Put(st) }
 
 func (m *matcher) notePanic(v any) {
 	m.panicMu.Lock()
@@ -508,7 +553,7 @@ func (m *matcher) passesNeighborhood(vi int, u store.ID) bool {
 				continue
 			}
 			first, last := c.Path[0].Pred, c.Path[len(c.Path)-1].Pred
-			if m.g.HasAdjacentPred(u, first) || m.g.HasAdjacentPred(u, last) {
+			if m.hasAdjPred(u, first) || m.hasAdjPred(u, last) {
 				ok = true
 				break
 			}
@@ -518,6 +563,16 @@ func (m *matcher) passesNeighborhood(vi int, u store.ID) bool {
 		}
 	}
 	return true
+}
+
+// hasAdjPred answers the §4.2.2 adjacency test through the captured
+// snapshot when the graph is frozen (2-bit signature + CSR binary search)
+// and the mutable graph otherwise.
+func (m *matcher) hasAdjPred(u, p store.ID) bool {
+	if m.sn != nil {
+		return m.sn.HasAdjacentPred(u, p)
+	}
+	return m.g.HasAdjacentPred(u, p)
 }
 
 // thresholdReached evaluates the TA stopping rule: the upper bound on any
@@ -719,6 +774,17 @@ func newSearchState(nVerts, nEdges int) *searchState {
 	return st
 }
 
+// reset returns a (possibly dirty, possibly panic-abandoned) state to the
+// newSearchState condition for pool reuse.
+func (st *searchState) reset() {
+	for i := range st.assign {
+		st.assign[i], st.via[i], st.score[i], st.done[i] = store.None, store.None, 0, false
+	}
+	for i := range st.paths {
+		st.paths[i], st.pscore[i] = nil, 0
+	}
+}
+
 // extend grows the partial assignment by one vertex (VF2-style: always a
 // vertex adjacent to the matched region when one exists) until complete.
 func (m *matcher) extend(st *searchState) {
@@ -790,17 +856,76 @@ func (m *matcher) extend(st *searchState) {
 	}
 }
 
-// chooseNext picks the next unmatched vertex, preferring one adjacent to
-// the matched region, and returns the connecting edge index (or -1).
+// predDegree returns the exact out- or in-degree of u over predicate p —
+// the statistic the frozen snapshot makes a binary search (the mutable
+// graph answers with a signature-gated scan, so both paths compute the
+// same number and the selectivity ordering below is identical on either).
+func (m *matcher) predDegree(u, p store.ID, forward bool) int {
+	if m.sn != nil {
+		if forward {
+			return m.sn.OutPredDegree(u, p)
+		}
+		return m.sn.InPredDegree(u, p)
+	}
+	if forward {
+		return m.g.OutPredDegree(u, p)
+	}
+	return m.g.InPredDegree(u, p)
+}
+
+// frontierCost is the exact size of the extension frontier reachable()
+// will enumerate when edge ei is bound from graph vertex u: for every
+// candidate path, both orientations are walked, so the first step of each
+// walk — the path's first predicate leaving u, and its last predicate
+// entering u — contributes its per-predicate degree. The cost depends only
+// on u and the query edge (not on which endpoint u sits at: both
+// orientations are always tried), so it is identical at every parallelism
+// level and on the frozen and mutable paths alike.
+func (m *matcher) frontierCost(u store.ID, ei int) int {
+	cost := 0
+	for _, pc := range m.q.Edges[ei].Candidates {
+		if len(pc.Path) == 0 {
+			continue
+		}
+		first := pc.Path[0]
+		last := pc.Path[len(pc.Path)-1]
+		cost += m.predDegree(u, first.Pred, first.Forward)
+		cost += m.predDegree(u, last.Pred, !last.Forward)
+	}
+	return cost
+}
+
+// chooseNext picks the next unmatched vertex. Among query edges bridging
+// the matched region (exactly one bound endpoint) it takes the one whose
+// extension frontier is smallest — the selectivity ordering the snapshot's
+// cheap degree statistics pay for — instead of declaration order, so the
+// search fails on rare predicates before fanning out over common ones.
+// Ties keep declaration order, and the cost is a pure function of the
+// partial assignment, so the search tree stays deterministic; the
+// canonical harvest keeps the final output byte-identical regardless.
+// With no bridge edge it falls back to the first unmatched vertex (a
+// disconnected component).
 func (m *matcher) chooseNext(st *searchState) (vertex, bridge int) {
+	bestV, bestE, bestCost := -1, -1, 0
 	for ei := range m.q.Edges {
 		e := &m.q.Edges[ei]
+		var u store.ID
+		var next int
 		switch {
 		case st.done[e.From] && !st.done[e.To]:
-			return e.To, ei
+			u, next = st.assign[e.From], e.To
 		case st.done[e.To] && !st.done[e.From]:
-			return e.From, ei
+			u, next = st.assign[e.To], e.From
+		default:
+			continue
 		}
+		cost := m.frontierCost(u, ei)
+		if bestE < 0 || cost < bestCost {
+			bestV, bestE, bestCost = next, ei, cost
+		}
+	}
+	if bestE >= 0 {
+		return bestV, bestE
 	}
 	for vi := range m.q.Vertices {
 		if !st.done[vi] {
@@ -823,11 +948,27 @@ func (m *matcher) reachable(u store.ID, p dict.Path, reversed bool) []store.ID {
 		a, b = b, a
 	}
 	out := dict.FollowPath(m.g, u, a)
+	more := dict.FollowPath(m.g, u, b)
+	// Each FollowPath result is already distinct; only the cross-direction
+	// overlap needs deduping. Typical frontiers are small, so a nested scan
+	// beats allocating a map; large ones fall back to one.
+	if len(out)+len(more) <= 64 {
+	cross:
+		for _, w := range more {
+			for _, x := range out {
+				if x == w {
+					continue cross
+				}
+			}
+			out = append(out, w)
+		}
+		return out
+	}
 	seen := make(map[store.ID]struct{}, len(out))
 	for _, w := range out {
 		seen[w] = struct{}{}
 	}
-	for _, w := range dict.FollowPath(m.g, u, b) {
+	for _, w := range more {
 		if _, dup := seen[w]; !dup {
 			seen[w] = struct{}{}
 			out = append(out, w)
@@ -930,6 +1071,8 @@ func (m *matcher) enumerateUnanchored() {
 		return
 	}
 	m.probes.Add(1)
+	st := m.getState()
+	defer m.putState(st)
 	for v := 0; v < m.g.NumTerms() && !m.res.full(); v++ {
 		u := store.ID(v)
 		if !m.g.Term(u).IsIRI() || m.g.Degree(u) == 0 {
@@ -938,7 +1081,8 @@ func (m *matcher) enumerateUnanchored() {
 		if !m.opts.Budget.Candidate() {
 			return
 		}
-		st := newSearchState(len(m.q.Vertices), len(m.q.Edges))
+		// extend backtracks everything it bound, so only the anchor slot
+		// needs rebinding between iterations.
 		st.assign[0], st.score[0], st.done[0] = u, 1.0, true
 		m.extend(st)
 	}

@@ -228,52 +228,93 @@ func routesIntersect(f, b halfPath, meet, from, to store.ID) bool {
 	return false
 }
 
+// followPathDedupeScan is the result-set size up to which FollowPath
+// dedupes targets by linear scan before switching to a map; most paths
+// reach a handful of vertices and never pay a map allocation.
+const followPathDedupeScan = 32
+
 // FollowPath returns every vertex reachable from v by walking the path
 // (respecting step directions), visiting only simple routes. It is used at
 // query time to evaluate predicate-path edges of the semantic query graph.
+//
+// The walk is a DFS over one shared route buffer (the earlier BFS copied
+// the route per frontier state, which dominated matcher allocations). On a
+// frozen graph each step is a binary-searched CSR span (see
+// store/frozen.go); the mutable path keeps the OutByPred/InByPred hub
+// cache. Target order follows the traversal and is not significant;
+// results are a set (first-reached order).
 func FollowPath(g *store.Graph, v store.ID, p Path) []store.ID {
 	followPathCalls.Inc()
-	type state struct {
-		verts []store.ID
+	if len(p) == 0 {
+		return []store.ID{v}
 	}
-	cur := []state{{verts: []store.ID{v}}}
-	for _, s := range p {
-		var next []state
-		for _, st := range cur {
-			last := st.verts[len(st.verts)-1]
-			// OutByPred/InByPred serve hub vertices from the store's
-			// predicate-grouped cache in adjacency order, so results are
-			// unchanged but each step skips the full-degree scan.
-			var neighbors []store.ID
-			if s.Forward {
-				neighbors = g.OutByPred(last, s.Pred)
-			} else {
-				neighbors = g.InByPred(last, s.Pred)
-			}
-		nb:
-			for _, u := range neighbors {
-				for _, w := range st.verts {
-					if w == u {
-						continue nb
+	sn := g.Frozen()
+	route := make([]store.ID, 1, len(p)+1)
+	route[0] = v
+	var out []store.ID
+	var seen map[store.ID]struct{}
+	add := func(u store.ID) {
+		if seen == nil {
+			if len(out) < followPathDedupeScan {
+				for _, x := range out {
+					if x == u {
+						return
 					}
 				}
-				next = append(next, state{verts: append(append([]store.ID{}, st.verts...), u)})
+				out = append(out, u)
+				return
+			}
+			seen = make(map[store.ID]struct{}, 2*len(out))
+			for _, x := range out {
+				seen[x] = struct{}{}
 			}
 		}
-		cur = next
-		if len(cur) == 0 {
-			return nil
+		if _, dup := seen[u]; dup {
+			return
+		}
+		seen[u] = struct{}{}
+		out = append(out, u)
+	}
+	var walk func(u store.ID, depth int)
+	visit := func(w store.ID, depth int) {
+		for _, r := range route {
+			if r == w {
+				return // not simple
+			}
+		}
+		if depth == len(p)-1 {
+			add(w)
+			return
+		}
+		route = append(route, w)
+		walk(w, depth+1)
+		route = route[:len(route)-1]
+	}
+	walk = func(u store.ID, depth int) {
+		st := p[depth]
+		if sn != nil {
+			var span []store.Edge
+			if st.Forward {
+				span = sn.OutPred(u, st.Pred)
+			} else {
+				span = sn.InPred(u, st.Pred)
+			}
+			for i := range span {
+				visit(span[i].To, depth)
+			}
+			return
+		}
+		var ids []store.ID
+		if st.Forward {
+			ids = g.OutByPred(u, st.Pred)
+		} else {
+			ids = g.InByPred(u, st.Pred)
+		}
+		for _, w := range ids {
+			visit(w, depth)
 		}
 	}
-	seen := make(map[store.ID]struct{})
-	var out []store.ID
-	for _, st := range cur {
-		u := st.verts[len(st.verts)-1]
-		if _, dup := seen[u]; !dup {
-			seen[u] = struct{}{}
-			out = append(out, u)
-		}
-	}
+	walk(v, 0)
 	return out
 }
 

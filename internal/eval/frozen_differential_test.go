@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"gqa/internal/bench"
+	"gqa/internal/core"
+)
+
+// TestWorkloadFrozenDifferential pins the frozen-snapshot contract: the
+// CSR snapshot is a pure representation change. Two identically built
+// systems — one left on the mutable adjacency-list path, one frozen —
+// must produce byte-identical results over the whole benchmark workload,
+// and, because the selectivity-ordered matcher plans with exact degrees
+// on both paths, the search trees themselves must coincide: every
+// MatchStats field (Seeds, Steps, MatchesFound, rounds, pruning counts)
+// is required to match, not just the answers. Checked at P=1 and P=8.
+func TestWorkloadFrozenDifferential(t *testing.T) {
+	build := func() *core.System {
+		g, err := bench.BuildKB()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _, err := bench.BuildDictionary(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.NewSystem(g, d, core.Options{TopK: 10})
+	}
+	mutable, frozen := build(), build()
+	if sn := frozen.Graph.Freeze(); sn == nil {
+		t.Fatal("Freeze returned nil snapshot")
+	}
+	if mutable.Graph.Frozen() != nil {
+		t.Fatal("mutable system unexpectedly has a snapshot")
+	}
+
+	qs := bench.Workload()
+	for _, p := range []int{1, 8} {
+		mutable.Opts.Parallelism = p
+		frozen.Opts.Parallelism = p
+		for _, q := range qs {
+			mres, err := mutable.Answer(q.Text)
+			if err != nil {
+				t.Fatalf("P=%d mutable %q: %v", p, q.Text, err)
+			}
+			fres, err := frozen.Answer(q.Text)
+			if err != nil {
+				t.Fatalf("P=%d frozen %q: %v", p, q.Text, err)
+			}
+			if got, want := answerFingerprint(fres), answerFingerprint(mres); got != want {
+				t.Errorf("P=%d %q frozen diverged from mutable:\n got: %s\nwant: %s",
+					p, q.Text, got, want)
+			}
+			if mres.Stats.Truncated == "" && !reflect.DeepEqual(fres.Stats, mres.Stats) {
+				t.Errorf("P=%d %q search stats diverged:\n got: %+v\nwant: %+v",
+					p, q.Text, fres.Stats, mres.Stats)
+			}
+		}
+	}
+}

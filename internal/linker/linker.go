@@ -70,6 +70,10 @@ func New(g *store.Graph, opts Options) *Linker {
 	if l.minSim == 0 {
 		l.minSim = 0.34
 	}
+	// On a frozen graph Entities() serves the snapshot's precomputed list
+	// and the literal pass below answers from CSR degrees, so indexing a
+	// large graph skips the per-vertex map probes of the mutable path.
+	sn := g.Frozen()
 	for _, id := range g.Entities() {
 		l.index(id, false)
 	}
@@ -88,10 +92,16 @@ func New(g *store.Graph, opts Options) *Linker {
 		// Pure rdfs:label strings are names of other vertices, not data
 		// values; indexing them would only duplicate their owners.
 		dataValue := false
-		for _, e := range g.In(id) {
-			if e.Pred != g.LabelPredID() {
-				dataValue = true
-				break
+		if sn != nil {
+			// Any in-edge besides rdfs:label ones marks a data value; two
+			// O(log d) degree reads answer that without walking adjacency.
+			dataValue = sn.InDegree(id) > sn.InPredDegree(id, g.LabelPredID())
+		} else {
+			for _, e := range g.In(id) {
+				if e.Pred != g.LabelPredID() {
+					dataValue = true
+					break
+				}
 			}
 		}
 		if dataValue {

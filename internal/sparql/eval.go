@@ -86,6 +86,15 @@ func evalTracked(g *store.Graph, q *Query, tr *budget.Tracker) (*Result, error) 
 	binding := make(map[string]store.ID)
 	order := planOrder(g, q.Patterns)
 
+	// Capture the frozen CSR snapshot once for the whole evaluation: every
+	// pattern scan then dispatches through sorted-span binary searches
+	// without re-loading the graph's snapshot pointer per call. An
+	// unfrozen graph keeps the mutable index dispatch.
+	match := g.Match
+	if sn := g.Frozen(); sn != nil {
+		match = sn.Match
+	}
+
 	limit := q.Limit
 	want := -1 // unlimited
 	if q.Kind == KindAsk && len(q.Filters) == 0 {
@@ -122,7 +131,7 @@ func evalTracked(g *store.Graph, q *Query, tr *budget.Tracker) (*Result, error) 
 			return false
 		}
 		stop := false
-		g.Match(s, p, o, func(t store.Spo) bool {
+		match(s, p, o, func(t store.Spo) bool {
 			var bound []string
 			ok := true
 			tryBind := func(term Term, id store.ID) {

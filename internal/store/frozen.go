@@ -1,0 +1,489 @@
+package store
+
+// Frozen CSR snapshots: an immutable, compact read-only view of a loaded
+// Graph, in the spirit of gStore's read-optimized storage [33]. The mutable
+// Graph is a load-optimized pile of maps and unsorted adjacency slices; a
+// Snapshot recompacts it once into flat CSR arrays with each vertex's edge
+// list sorted by (Pred, To), so the hot operations of §4.2.2 neighborhood
+// pruning — HasAdjacentPred, per-predicate neighbor lookups, and bound-s /
+// bound-o pattern scans — become binary searches over contiguous memory:
+// no map hashing, no RWMutex, no lazily built cache (the predindex.go hub
+// cache is subsumed on the frozen path).
+//
+// Not to be confused with the binary serialization format in snapshot.go
+// (Graph.Snapshot / LoadSnapshot), which is an on-disk interchange format;
+// a *Snapshot here is the in-memory frozen query structure.
+//
+// Contract: Freeze builds a Snapshot from the graph's current state and
+// installs it; any subsequent Add/Remove invalidates the installed pointer
+// (Frozen returns nil) and bumps the graph's generation, so re-freezing
+// reflects the mutation. A *Snapshot already handed out stays valid and
+// fully self-contained forever: it shares nothing mutable with the graph,
+// so concurrent snapshot readers are safe during background mutation of
+// the mutable Graph (mutating the Graph itself still follows the
+// single-writer contract).
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"gqa/internal/faultpoint"
+	"gqa/internal/obs"
+	"gqa/internal/rdf"
+)
+
+// Snapshot-build metrics: how long a freeze takes and how much memory the
+// frozen arrays hold — the observable cost of snapshot mode.
+var (
+	snapshotBuildSeconds = obs.DefaultHistogram("gqa_store_snapshot_build_seconds",
+		"Time to build one frozen CSR snapshot from the mutable graph.", nil)
+	snapshotBytes = obs.DefaultGauge("gqa_store_snapshot_bytes",
+		"Size of the most recently built snapshot's CSR arrays in bytes.")
+	snapshotBuilds = obs.DefaultCounter("gqa_store_snapshot_builds_total",
+		"Frozen CSR snapshots built (freezes after load or mutation).")
+)
+
+// Vertex role bits precomputed at freeze so Entities/Stats/IsEntity become
+// array reads instead of per-vertex map probes.
+const (
+	roleIRI     = 1 << iota // term is an IRI
+	roleLiteral             // term is a literal
+	roleClass               // vertex classified as a class (Definition 3)
+	rolePred                // term is used as a predicate
+	roleEntity              // IRI, not a class, not a predicate, degree > 0
+)
+
+// Snapshot is the frozen CSR view. All slices are private and immutable
+// after build; methods never touch the originating Graph, so a Snapshot is
+// safe for unlimited concurrent readers even while the mutable Graph is
+// being mutated.
+type Snapshot struct {
+	gen   uint64
+	terms []rdf.Term // frozen slice header; term storage is append-only
+
+	// Out- and in-adjacency in CSR form: vertex v's edges occupy
+	// edges[off[v]:off[v+1]], sorted by (Pred, To). For the in side,
+	// Edge.To is the *subject* of the underlying triple (as with Graph.In).
+	outOff   []uint32
+	outEdges []Edge
+	inOff    []uint32
+	inEdges  []Edge
+
+	// Predicate-major CSR replacing the byPred map: predIDs is sorted
+	// ascending; predicate predIDs[i]'s triples occupy
+	// predTriples[predOff[i]:predOff[i+1]], sorted by (S, O).
+	predIDs     []ID
+	predOff     []uint32
+	predTriples []Spo
+
+	// Two-hash-bit vertex signature (widened from the mutable graph's
+	// single bit): predicate p incident to v sets bit h1(p) in sig[v][0]
+	// and bit h2(p) in sig[v][1]. HasAdjacentPred requires both bits,
+	// cutting Bloom false positives quadratically before any span search;
+	// the two words sit side by side so the test costs one cache line.
+	sig [][2]uint64
+
+	roles    []uint8
+	entities []ID // ascending, precomputed from roles
+	stats    Stats
+
+	rdfType, subClass, labelPred ID
+	nTriples                     int
+	bytes                        int64
+}
+
+func sigBits(p ID) (lo, hi uint64) {
+	lo = 1 << (uint(p) % 64)
+	// Fibonacci hashing for the second, independent bit.
+	hi = 1 << ((uint64(p) * 0x9E3779B97F4A7C15) >> 58)
+	return lo, hi
+}
+
+// Freeze returns the frozen CSR snapshot of the graph's current state,
+// building one only when the installed snapshot is missing or stale
+// (i.e. the graph mutated since). Calling Freeze on an unchanged graph is
+// a pointer load. Freeze must not run concurrently with mutation (the
+// graph's single-writer contract); concurrent Freeze calls from readers
+// are safe.
+func (g *Graph) Freeze() *Snapshot { return g.FreezeCtx(context.Background()) }
+
+// FreezeCtx is Freeze with a trace span ("store.freeze") recorded on the
+// context's trace when one is present.
+func (g *Graph) FreezeCtx(ctx context.Context) *Snapshot {
+	gen := g.gen.Load()
+	if sn := g.snap.Load(); sn != nil && sn.gen == gen {
+		return sn
+	}
+	sp := obs.TraceFrom(ctx).Root().Child("store.freeze")
+	start := time.Now()
+	sn := buildSnapshot(g, gen)
+	g.snap.Store(sn)
+	snapshotBuildSeconds.ObserveDuration(time.Since(start))
+	snapshotBytes.Set(sn.bytes)
+	snapshotBuilds.Inc()
+	if sp.Enabled() {
+		sp.SetInt("terms", int64(len(sn.terms)))
+		sp.SetInt("triples", int64(sn.nTriples))
+		sp.SetInt("bytes", sn.bytes)
+	}
+	sp.Finish()
+	return sn
+}
+
+// Frozen returns the installed snapshot, or nil when the graph has never
+// been frozen or has mutated since the last Freeze. Hot paths capture the
+// result once per operation rather than per lookup.
+func (g *Graph) Frozen() *Snapshot { return g.snap.Load() }
+
+// Generation returns the graph mutation generation the snapshot was built
+// at (each Add/Remove bumps the graph's generation).
+func (sn *Snapshot) Generation() uint64 { return sn.gen }
+
+// Bytes returns the approximate heap size of the snapshot's arrays.
+func (sn *Snapshot) Bytes() int64 { return sn.bytes }
+
+func buildSnapshot(g *Graph, gen uint64) *Snapshot {
+	n := len(g.terms)
+	sn := &Snapshot{
+		gen:       gen,
+		terms:     g.terms,
+		rdfType:   g.rdfType,
+		subClass:  g.subClass,
+		labelPred: g.labelPred,
+		nTriples:  len(g.triples),
+	}
+
+	sn.outOff, sn.outEdges = buildCSR(g.out)
+	sn.inOff, sn.inEdges = buildCSR(g.in)
+
+	// Two-hash-bit signatures over both directions.
+	sn.sig = make([][2]uint64, n)
+	setSig := func(v int, es []Edge) {
+		for _, e := range es {
+			lo, hi := sigBits(e.Pred)
+			sn.sig[v][0] |= lo
+			sn.sig[v][1] |= hi
+		}
+	}
+	for v := 0; v < n; v++ {
+		setSig(v, sn.outSpan(ID(v)))
+		setSig(v, sn.inSpan(ID(v)))
+	}
+
+	// Predicate-major CSR, predicates ascending, groups sorted by (S, O).
+	sn.predIDs = make([]ID, 0, len(g.preds))
+	for p := range g.preds {
+		sn.predIDs = append(sn.predIDs, p)
+	}
+	sort.Slice(sn.predIDs, func(i, j int) bool { return sn.predIDs[i] < sn.predIDs[j] })
+	sn.predOff = make([]uint32, len(sn.predIDs)+1)
+	sn.predTriples = make([]Spo, 0, len(g.triples))
+	for i, p := range sn.predIDs {
+		start := len(sn.predTriples)
+		sn.predTriples = append(sn.predTriples, g.byPred[p]...)
+		group := sn.predTriples[start:]
+		sort.Slice(group, func(a, b int) bool {
+			if group[a].S != group[b].S {
+				return group[a].S < group[b].S
+			}
+			return group[a].O < group[b].O
+		})
+		sn.predOff[i+1] = uint32(len(sn.predTriples))
+	}
+
+	// Role bitmap + precomputed entity list and Table-4 stats.
+	sn.roles = make([]uint8, n)
+	sn.stats = Stats{
+		Triples:    len(g.triples),
+		Predicates: len(g.preds),
+		Classes:    len(g.classes),
+	}
+	for v := 0; v < n; v++ {
+		id := ID(v)
+		var r uint8
+		t := g.terms[v]
+		switch {
+		case t.IsIRI():
+			r |= roleIRI
+		case t.IsLiteral():
+			r |= roleLiteral
+			sn.stats.Literals++
+		}
+		if _, ok := g.classes[id]; ok {
+			r |= roleClass
+		}
+		if _, ok := g.preds[id]; ok {
+			r |= rolePred
+		}
+		deg := sn.outOff[v+1] - sn.outOff[v] + sn.inOff[v+1] - sn.inOff[v]
+		if r&roleIRI != 0 && r&(roleClass|rolePred) == 0 && deg > 0 {
+			r |= roleEntity
+			sn.entities = append(sn.entities, id)
+			sn.stats.Entities++
+		}
+		sn.roles[v] = r
+	}
+
+	sn.bytes = int64(len(sn.outEdges)+len(sn.inEdges))*8 +
+		int64(len(sn.outOff)+len(sn.inOff)+len(sn.predOff))*4 +
+		int64(len(sn.predTriples))*12 +
+		int64(len(sn.sig))*16 +
+		int64(len(sn.roles)) +
+		int64(len(sn.entities)+len(sn.predIDs))*4
+	return sn
+}
+
+// buildCSR flattens per-vertex adjacency into offset+edge arrays with each
+// vertex's span sorted by (Pred, To).
+func buildCSR(adj [][]Edge) ([]uint32, []Edge) {
+	off := make([]uint32, len(adj)+1)
+	total := 0
+	for _, es := range adj {
+		total += len(es)
+	}
+	edges := make([]Edge, 0, total)
+	for v, es := range adj {
+		start := len(edges)
+		edges = append(edges, es...)
+		span := edges[start:]
+		sort.Slice(span, func(i, j int) bool {
+			if span[i].Pred != span[j].Pred {
+				return span[i].Pred < span[j].Pred
+			}
+			return span[i].To < span[j].To
+		})
+		off[v+1] = uint32(len(edges))
+	}
+	return off, edges
+}
+
+// ---------------------------------------------------------------- accessors
+
+// NumTerms returns the number of interned terms at freeze time.
+func (sn *Snapshot) NumTerms() int { return len(sn.terms) }
+
+// NumTriples returns the number of distinct triples at freeze time.
+func (sn *Snapshot) NumTriples() int { return sn.nTriples }
+
+// Term returns the term for id (IDs are stable across freezes).
+func (sn *Snapshot) Term(id ID) rdf.Term { return sn.terms[id] }
+
+func (sn *Snapshot) outSpan(v ID) []Edge {
+	if int(v) >= len(sn.outOff)-1 {
+		return nil
+	}
+	return sn.outEdges[sn.outOff[v]:sn.outOff[v+1]]
+}
+
+func (sn *Snapshot) inSpan(v ID) []Edge {
+	if int(v) >= len(sn.inOff)-1 {
+		return nil
+	}
+	return sn.inEdges[sn.inOff[v]:sn.inOff[v+1]]
+}
+
+// Out returns v's outgoing edges sorted by (Pred, To). The slice aliases
+// the snapshot's arrays and must not be modified.
+func (sn *Snapshot) Out(v ID) []Edge { return sn.outSpan(v) }
+
+// In returns v's incoming edges sorted by (Pred, To); Edge.To is the
+// subject of the underlying triple.
+func (sn *Snapshot) In(v ID) []Edge { return sn.inSpan(v) }
+
+// OutDegree and InDegree are O(1) span widths.
+func (sn *Snapshot) OutDegree(v ID) int { return len(sn.outSpan(v)) }
+func (sn *Snapshot) InDegree(v ID) int  { return len(sn.inSpan(v)) }
+
+// Degree returns the total (in+out) degree of v.
+func (sn *Snapshot) Degree(v ID) int { return sn.OutDegree(v) + sn.InDegree(v) }
+
+// lowerBoundPred returns the first index in a (Pred, To)-sorted span with
+// Pred >= p. Hand-rolled hybrid search: binary steps while the window is
+// wide, then a linear tail scan — most vertices have single-digit degree,
+// where a handful of predictable compares beats log2(n) mispredicted
+// branches. This sits under every hot lookup.
+func lowerBoundPred(edges []Edge, p ID) int {
+	lo, hi := 0, len(edges)
+	for hi-lo > 8 {
+		mid := int(uint(lo+hi) >> 1)
+		if edges[mid].Pred < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for lo < hi && edges[lo].Pred < p {
+		lo++
+	}
+	return lo
+}
+
+// predSpan searches a (Pred, To)-sorted edge span for the contiguous run
+// of predicate p, with the same hybrid strategy as lowerBoundPred for the
+// run's end.
+func predSpan(edges []Edge, p ID) []Edge {
+	lo := lowerBoundPred(edges, p)
+	j, hi := lo, len(edges)
+	for hi-j > 8 {
+		mid := int(uint(j+hi) >> 1)
+		if edges[mid].Pred <= p {
+			j = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for j < hi && edges[j].Pred == p {
+		j++
+	}
+	return edges[lo:j]
+}
+
+// spanHasPred reports whether the sorted span contains any edge with
+// predicate p (existence only — no need to locate the run's end).
+func spanHasPred(edges []Edge, p ID) bool {
+	i := lowerBoundPred(edges, p)
+	return i < len(edges) && edges[i].Pred == p
+}
+
+// OutPred returns v's outgoing edges labeled p, sorted by To — the CSR
+// replacement for Graph.OutByPred (a binary search instead of a scan or
+// cache build; no allocation).
+func (sn *Snapshot) OutPred(v, p ID) []Edge { return predSpan(sn.outSpan(v), p) }
+
+// InPred returns v's incoming edges labeled p (Edge.To is the subject).
+func (sn *Snapshot) InPred(v, p ID) []Edge { return predSpan(sn.inSpan(v), p) }
+
+// OutPredDegree and InPredDegree are the exact per-vertex per-predicate
+// degrees the selectivity-ordered matcher plans with.
+func (sn *Snapshot) OutPredDegree(v, p ID) int { return len(sn.OutPred(v, p)) }
+func (sn *Snapshot) InPredDegree(v, p ID) int  { return len(sn.InPred(v, p)) }
+
+// HasAdjacentPred reports whether v has any incident edge (either
+// direction) labeled p — the §4.2.2 neighborhood pruning test. The 2-bit
+// signature rejects most misses in O(1); survivors cost two binary
+// searches over contiguous spans.
+func (sn *Snapshot) HasAdjacentPred(v, p ID) bool {
+	if int(v) >= len(sn.sig) {
+		return false
+	}
+	lo, hi := sigBits(p)
+	s := &sn.sig[v]
+	if s[0]&lo == 0 || s[1]&hi == 0 {
+		return false
+	}
+	return spanHasPred(sn.outSpan(v), p) || spanHasPred(sn.inSpan(v), p)
+}
+
+// Has reports whether the triple is present, by binary search in s's
+// sorted out-span rather than the mutable graph's triples map.
+func (sn *Snapshot) Has(s, p, o ID) bool {
+	span := sn.outSpan(s)
+	lo, hi := 0, len(span)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		e := span[mid]
+		if e.Pred < p || (e.Pred == p && e.To < o) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(span) && span[lo].Pred == p && span[lo].To == o
+}
+
+// predGroup returns the (S, O)-sorted triple group of predicate p.
+func (sn *Snapshot) predGroup(p ID) []Spo {
+	i := sort.Search(len(sn.predIDs), func(i int) bool { return sn.predIDs[i] >= p })
+	if i == len(sn.predIDs) || sn.predIDs[i] != p {
+		return nil
+	}
+	return sn.predTriples[sn.predOff[i]:sn.predOff[i+1]]
+}
+
+// PredCount returns the number of triples using predicate p.
+func (sn *Snapshot) PredCount(p ID) int { return len(sn.predGroup(p)) }
+
+// NumPredicates returns the number of distinct predicates at freeze time.
+func (sn *Snapshot) NumPredicates() int { return len(sn.predIDs) }
+
+// Match calls fn for every triple matching the (s, p, o) pattern (Any is
+// the wildcard), stopping early if fn returns false. Dispatch mirrors
+// Graph.Match but every bound position resolves by binary search over the
+// CSR arrays; iteration order is (Pred, To)-sorted rather than insertion
+// order.
+func (sn *Snapshot) Match(s, p, o ID, fn func(Spo) bool) {
+	faultpoint.Hit(faultpoint.StoreMatch)
+	switch {
+	case s != Any && p != Any && o != Any:
+		if sn.Has(s, p, o) {
+			fn(Spo{s, p, o})
+		}
+	case s != Any:
+		span := sn.outSpan(s)
+		if p != Any {
+			span = predSpan(span, p)
+		}
+		for _, e := range span {
+			if o != Any && e.To != o {
+				continue
+			}
+			if !fn(Spo{s, e.Pred, e.To}) {
+				return
+			}
+		}
+	case o != Any:
+		span := sn.inSpan(o)
+		if p != Any {
+			span = predSpan(span, p)
+		}
+		for _, e := range span {
+			if !fn(Spo{e.To, e.Pred, o}) {
+				return
+			}
+		}
+	case p != Any:
+		for _, spo := range sn.predGroup(p) {
+			if !fn(spo) {
+				return
+			}
+		}
+	default:
+		for _, spo := range sn.predTriples {
+			if !fn(spo) {
+				return
+			}
+		}
+	}
+}
+
+// Count returns the number of triples matching the pattern.
+func (sn *Snapshot) Count(s, p, o ID) int {
+	n := 0
+	sn.Match(s, p, o, func(Spo) bool { n++; return true })
+	return n
+}
+
+// IsClass reports whether v was classified as a class at freeze time.
+func (sn *Snapshot) IsClass(v ID) bool {
+	return int(v) < len(sn.roles) && sn.roles[v]&roleClass != 0
+}
+
+// IsEntity reads the precomputed role bitmap — the freeze-time answer to
+// Graph.IsEntity without per-vertex map probes.
+func (sn *Snapshot) IsEntity(v ID) bool {
+	return int(v) < len(sn.roles) && sn.roles[v]&roleEntity != 0
+}
+
+// Entities returns all entity vertex IDs in ascending order. The returned
+// slice is a copy and may be retained or modified by the caller.
+func (sn *Snapshot) Entities() []ID {
+	if len(sn.entities) == 0 {
+		return nil
+	}
+	return append([]ID(nil), sn.entities...)
+}
+
+// Stats returns the freeze-time summary statistics (Table 4 shape),
+// precomputed during the role pass.
+func (sn *Snapshot) Stats() Stats { return sn.stats }

@@ -1,0 +1,123 @@
+package store
+
+// Microbenchmarks for the frozen CSR read path vs the mutable graph, over
+// an identical synthetic graph with hub vertices (where the predindex
+// cache and the CSR binary searches actually diverge). Run via
+// `make bench-store`; gqa-bench -exp store records the same comparisons
+// in BENCH_store.json.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gqa/internal/rdf"
+)
+
+// frozenBenchGraph builds a deterministic graph with a skewed degree
+// distribution: a few hundred hubs far above predIndexMinDegree and a
+// long-tail of small vertices. The 160 predicates matter: with more
+// predicates than signature bits, consecutive IDs collide mod 64 and the
+// mutable 1-bit signature starts false-positiving into full adjacency
+// scans — the regime a real KB's predicate count puts every hub in.
+func frozenBenchGraph() (*Graph, []ID, []ID) {
+	r := rand.New(rand.NewSource(1))
+	g := New()
+	const nv, np = 2000, 160
+	verts := make([]ID, nv)
+	for i := range verts {
+		verts[i] = g.Intern(rdf.Resource(fmt.Sprintf("v%d", i)))
+	}
+	preds := make([]ID, np)
+	for i := range preds {
+		preds[i] = g.Intern(rdf.Ontology(fmt.Sprintf("p%d", i)))
+	}
+	for i := 0; i < 200; i++ { // hubs
+		hub := verts[i]
+		for j := 0; j < 64; j++ {
+			g.AddSPO(hub, preds[r.Intn(np)], verts[r.Intn(nv)])
+		}
+	}
+	for i := 200; i < nv; i++ { // tail
+		for j := 0; j < 4; j++ {
+			g.AddSPO(verts[i], preds[r.Intn(np)], verts[r.Intn(nv)])
+		}
+	}
+	return g, verts, preds
+}
+
+func BenchmarkHasAdjacentPred(b *testing.B) {
+	gm, verts, preds := frozenBenchGraph()
+	gf, _, _ := frozenBenchGraph()
+	sn := gf.Freeze()
+	// Hub probes dominate real pruning cost (class anchors and popular
+	// entities have the large adjacency lists); the tail case shows the
+	// small-degree floor where both paths are a handful of compares.
+	bench := func(b *testing.B, vs []ID, probe func(v, p ID) bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			probe(vs[i%len(vs)], preds[i%len(preds)])
+		}
+	}
+	hubs, tail := verts[:200], verts[200:]
+	b.Run("mutable/hub", func(b *testing.B) { bench(b, hubs, gm.HasAdjacentPred) })
+	b.Run("frozen/hub", func(b *testing.B) { bench(b, hubs, sn.HasAdjacentPred) })
+	b.Run("mutable/tail", func(b *testing.B) { bench(b, tail, gm.HasAdjacentPred) })
+	b.Run("frozen/tail", func(b *testing.B) { bench(b, tail, sn.HasAdjacentPred) })
+}
+
+func BenchmarkOutByPred(b *testing.B) {
+	gm, verts, preds := frozenBenchGraph()
+	gf, _, _ := frozenBenchGraph()
+	sn := gf.Freeze()
+	b.Run("mutable", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gm.OutByPred(verts[i%200], preds[i%len(preds)])
+		}
+	})
+	b.Run("frozen", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sn.OutPred(verts[i%200], preds[i%len(preds)])
+		}
+	})
+}
+
+func BenchmarkStoreMatchBoundS(b *testing.B) {
+	gm, verts, preds := frozenBenchGraph()
+	gf, _, _ := frozenBenchGraph()
+	sn := gf.Freeze()
+	sink := 0
+	bench := func(b *testing.B, match func(s, p, o ID, fn func(Spo) bool)) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			match(verts[i%200], preds[i%len(preds)], Any, func(Spo) bool { sink++; return true })
+		}
+	}
+	b.Run("mutable", func(b *testing.B) { bench(b, gm.Match) })
+	b.Run("frozen", func(b *testing.B) { bench(b, sn.Match) })
+}
+
+func BenchmarkStoreHas(b *testing.B) {
+	gm, verts, preds := frozenBenchGraph()
+	gf, _, _ := frozenBenchGraph()
+	sn := gf.Freeze()
+	bench := func(b *testing.B, has func(s, p, o ID) bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			has(verts[i%len(verts)], preds[i%len(preds)], verts[(i*7)%len(verts)])
+		}
+	}
+	b.Run("mutable", func(b *testing.B) { bench(b, gm.Has) })
+	b.Run("frozen", func(b *testing.B) { bench(b, sn.Has) })
+}
+
+func BenchmarkFreeze(b *testing.B) {
+	g, _, _ := frozenBenchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.invalidateFrozen()
+		g.Freeze()
+	}
+}

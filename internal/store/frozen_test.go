@@ -1,0 +1,386 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"gqa/internal/obs"
+	"gqa/internal/rdf"
+)
+
+// randomRichGraph builds a random graph exercising every vertex role:
+// entities, classes (via rdf:type and rdfs:subClassOf), labeled vertices,
+// literal objects, and a few hub vertices above the predindex threshold.
+func randomRichGraph(r *rand.Rand) *Graph {
+	g := New()
+	nv := 20 + r.Intn(30)
+	verts := make([]ID, nv)
+	for i := range verts {
+		verts[i] = g.Intern(rdf.Resource(fmt.Sprintf("v%d", i)))
+	}
+	np := 2 + r.Intn(5)
+	preds := make([]ID, np)
+	for i := range preds {
+		preds[i] = g.Intern(rdf.Ontology(fmt.Sprintf("p%d", i)))
+	}
+	typeID := g.Intern(rdf.NewIRI(rdf.RDFType))
+	labelID := g.Intern(rdf.NewIRI(rdf.RDFSLabel))
+	classA := g.Intern(rdf.Ontology("ClassA"))
+	classB := g.Intern(rdf.Ontology("ClassB"))
+	ne := 3 * nv
+	for i := 0; i < ne; i++ {
+		g.AddSPO(verts[r.Intn(nv)], preds[r.Intn(np)], verts[r.Intn(nv)])
+	}
+	// A couple of hubs well above predIndexMinDegree.
+	for i := 0; i < 2*predIndexMinDegree; i++ {
+		g.AddSPO(verts[0], preds[0], verts[r.Intn(nv)])
+		g.AddSPO(verts[r.Intn(nv)], preds[np-1], verts[1])
+	}
+	for i := 0; i < nv/3; i++ {
+		c := classA
+		if i%2 == 0 {
+			c = classB
+		}
+		g.AddSPO(verts[r.Intn(nv)], typeID, c)
+	}
+	g.AddSPO(classA, g.Intern(rdf.NewIRI(rdf.RDFSSubClass)), classB)
+	for i := 0; i < nv/4; i++ {
+		lit := g.Intern(rdf.NewLiteral(fmt.Sprintf("label %d", i)))
+		g.AddSPO(verts[r.Intn(nv)], labelID, lit)
+	}
+	// A data-value literal (non-label in-edge).
+	lit := g.Intern(rdf.NewLiteral("1960"))
+	g.AddSPO(verts[2], preds[0], lit)
+	return g
+}
+
+func sortedSpos(ts []Spo) []Spo {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.O < b.O
+	})
+	return ts
+}
+
+func collectVia(match func(s, p, o ID, fn func(Spo) bool), s, p, o ID) []Spo {
+	var out []Spo
+	match(s, p, o, func(t Spo) bool { out = append(out, t); return true })
+	return sortedSpos(out)
+}
+
+func sortedIDs(ids []ID) []ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TestFrozenEquivalence compares every snapshot operation against the
+// mutable graph's answer across random graphs: Match under all binding
+// patterns, Has, HasAdjacentPred, per-predicate neighbors and degrees,
+// PredCount, IsEntity/IsClass, Entities, and Stats.
+func TestFrozenEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := randomRichGraph(r)
+
+		// Capture every mutable-path answer before freezing (Freeze makes
+		// the graph's own methods delegate to the snapshot).
+		n := ID(g.NumTerms())
+		type vpAnswer struct {
+			hasAdj   bool
+			outDeg   int
+			inDeg    int
+			outNbrs  []ID
+			inNbrs   []ID
+			outSpos  []Spo
+			inSpos   []Spo
+			isEntity bool
+			isClass  bool
+		}
+		answers := map[[2]ID]*vpAnswer{}
+		var pids []ID
+		for p := ID(0); p < n; p++ {
+			if g.PredCount(p) > 0 {
+				pids = append(pids, p)
+			}
+		}
+		for v := ID(0); v < n; v++ {
+			for _, p := range pids {
+				answers[[2]ID{v, p}] = &vpAnswer{
+					hasAdj:   g.HasAdjacentPred(v, p),
+					outDeg:   g.OutPredDegree(v, p),
+					inDeg:    g.InPredDegree(v, p),
+					outNbrs:  sortedIDs(append([]ID(nil), g.OutByPred(v, p)...)),
+					inNbrs:   sortedIDs(append([]ID(nil), g.InByPred(v, p)...)),
+					outSpos:  collectVia(g.Match, v, p, Any),
+					inSpos:   collectVia(g.Match, Any, p, v),
+					isEntity: g.IsEntity(v),
+					isClass:  g.IsClass(v),
+				}
+			}
+		}
+		wantEntities := append([]ID(nil), g.Entities()...)
+		wantStats := g.Stats()
+		wantAll := collectVia(g.Match, Any, Any, Any)
+		wantPredCounts := map[ID]int{}
+		for _, p := range pids {
+			wantPredCounts[p] = g.PredCount(p)
+		}
+
+		sn := g.Freeze()
+		if sn == nil {
+			t.Fatal("Freeze returned nil")
+		}
+		if sn.NumTerms() != int(n) || sn.NumTriples() != g.NumTriples() {
+			t.Fatalf("seed %d: snapshot sizes %d/%d, graph %d/%d",
+				seed, sn.NumTerms(), sn.NumTriples(), n, g.NumTriples())
+		}
+		for v := ID(0); v < n; v++ {
+			for _, p := range pids {
+				want := answers[[2]ID{v, p}]
+				if got := sn.HasAdjacentPred(v, p); got != want.hasAdj {
+					t.Fatalf("seed %d: HasAdjacentPred(%d,%d) = %v, mutable %v", seed, v, p, got, want.hasAdj)
+				}
+				if got := sn.OutPredDegree(v, p); got != want.outDeg {
+					t.Fatalf("seed %d: OutPredDegree(%d,%d) = %d, mutable %d", seed, v, p, got, want.outDeg)
+				}
+				if got := sn.InPredDegree(v, p); got != want.inDeg {
+					t.Fatalf("seed %d: InPredDegree(%d,%d) = %d, mutable %d", seed, v, p, got, want.inDeg)
+				}
+				var outNbrs, inNbrs []ID
+				for _, e := range sn.OutPred(v, p) {
+					outNbrs = append(outNbrs, e.To)
+				}
+				for _, e := range sn.InPred(v, p) {
+					inNbrs = append(inNbrs, e.To)
+				}
+				if !reflect.DeepEqual(sortedIDs(outNbrs), want.outNbrs) {
+					t.Fatalf("seed %d: OutPred(%d,%d) = %v, mutable %v", seed, v, p, outNbrs, want.outNbrs)
+				}
+				if !reflect.DeepEqual(sortedIDs(inNbrs), want.inNbrs) {
+					t.Fatalf("seed %d: InPred(%d,%d) = %v, mutable %v", seed, v, p, inNbrs, want.inNbrs)
+				}
+				if got := collectVia(sn.Match, v, p, Any); !reflect.DeepEqual(got, want.outSpos) {
+					t.Fatalf("seed %d: Match(%d,%d,Any) = %v, mutable %v", seed, v, p, got, want.outSpos)
+				}
+				if got := collectVia(sn.Match, Any, p, v); !reflect.DeepEqual(got, want.inSpos) {
+					t.Fatalf("seed %d: Match(Any,%d,%d) = %v, mutable %v", seed, p, v, got, want.inSpos)
+				}
+			}
+			if got := sn.IsEntity(v); got != answers[[2]ID{v, pids[0]}].isEntity {
+				t.Fatalf("seed %d: IsEntity(%d) mismatch", seed, v)
+			}
+			if got := sn.IsClass(v); got != answers[[2]ID{v, pids[0]}].isClass {
+				t.Fatalf("seed %d: IsClass(%d) mismatch", seed, v)
+			}
+		}
+		for _, p := range pids {
+			if got := sn.PredCount(p); got != wantPredCounts[p] {
+				t.Fatalf("seed %d: PredCount(%d) = %d, mutable %d", seed, p, got, wantPredCounts[p])
+			}
+			if got := collectVia(sn.Match, Any, p, Any); !reflect.DeepEqual(got, collectVia(g.Match, Any, p, Any)) {
+				t.Fatalf("seed %d: Match(Any,%d,Any) differs", seed, p)
+			}
+		}
+		if got := collectVia(sn.Match, Any, Any, Any); !reflect.DeepEqual(got, wantAll) {
+			t.Fatalf("seed %d: full scan differs", seed)
+		}
+		for _, spo := range wantAll {
+			if !sn.Has(spo.S, spo.P, spo.O) {
+				t.Fatalf("seed %d: Has misses present triple %v", seed, spo)
+			}
+			if got := collectVia(sn.Match, spo.S, spo.P, spo.O); len(got) != 1 || got[0] != spo {
+				t.Fatalf("seed %d: fully bound Match(%v) = %v", seed, spo, got)
+			}
+		}
+		// Negative probes.
+		for i := 0; i < 200; i++ {
+			s, p, o := ID(r.Intn(int(n))), ID(r.Intn(int(n))), ID(r.Intn(int(n)))
+			_, want := g.triples[Spo{s, p, o}]
+			if got := sn.Has(s, p, o); got != want {
+				t.Fatalf("seed %d: Has(%d,%d,%d) = %v, want %v", seed, s, p, o, got, want)
+			}
+		}
+		if got := sn.Entities(); !reflect.DeepEqual(got, wantEntities) {
+			t.Fatalf("seed %d: Entities = %v, mutable %v", seed, got, wantEntities)
+		}
+		if got := sn.Stats(); got != wantStats {
+			t.Fatalf("seed %d: Stats = %+v, mutable %+v", seed, got, wantStats)
+		}
+		// The graph's own methods now delegate and must agree too.
+		if got := g.Entities(); !reflect.DeepEqual(got, wantEntities) {
+			t.Fatalf("seed %d: delegated Entities differ", seed)
+		}
+		if got := g.Stats(); got != wantStats {
+			t.Fatalf("seed %d: delegated Stats differ", seed)
+		}
+	}
+}
+
+// TestFrozenAdjacencySorted pins the CSR layout contract: every vertex
+// span is sorted by (Pred, To), so binary searches are valid.
+func TestFrozenAdjacencySorted(t *testing.T) {
+	g := randomRichGraph(rand.New(rand.NewSource(7)))
+	sn := g.Freeze()
+	for v := ID(0); int(v) < sn.NumTerms(); v++ {
+		for _, span := range [][]Edge{sn.Out(v), sn.In(v)} {
+			for i := 1; i < len(span); i++ {
+				a, b := span[i-1], span[i]
+				if a.Pred > b.Pred || (a.Pred == b.Pred && a.To > b.To) {
+					t.Fatalf("span of %d not sorted at %d: %v > %v", v, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestFreezeLifecycle pins the freeze contract: Freeze is idempotent while
+// the graph is unchanged, any mutation (Add or Remove) invalidates the
+// installed snapshot, and re-freezing reflects the mutation. A snapshot
+// handed out earlier keeps serving its pre-mutation view.
+func TestFreezeLifecycle(t *testing.T) {
+	g := New()
+	a := g.Intern(rdf.Resource("a"))
+	b := g.Intern(rdf.Resource("b"))
+	p := g.Intern(rdf.Ontology("p"))
+	g.AddSPO(a, p, b)
+
+	sn1 := g.Freeze()
+	if g.Freeze() != sn1 || g.Frozen() != sn1 {
+		t.Fatal("Freeze on an unchanged graph must return the installed snapshot")
+	}
+
+	c := g.Intern(rdf.Resource("c"))
+	if g.Frozen() != sn1 {
+		t.Fatal("interning alone must not invalidate (no triples changed)")
+	}
+	g.AddSPO(a, p, c)
+	if g.Frozen() != nil {
+		t.Fatal("Add must invalidate the installed snapshot")
+	}
+	sn2 := g.Freeze()
+	if sn2 == sn1 {
+		t.Fatal("re-freeze after mutation must build a new snapshot")
+	}
+	if sn2.Generation() <= sn1.Generation() {
+		t.Fatalf("generation must advance: %d then %d", sn1.Generation(), sn2.Generation())
+	}
+	if !sn2.Has(a, p, c) {
+		t.Fatal("re-frozen snapshot must reflect the added triple")
+	}
+	if sn1.Has(a, p, c) {
+		t.Fatal("the old snapshot must keep its pre-mutation view")
+	}
+
+	// Duplicate adds are no-ops and must not invalidate.
+	g.AddSPO(a, p, c)
+	if g.Frozen() != sn2 {
+		t.Fatal("duplicate Add must not invalidate")
+	}
+
+	if !g.Remove(a, p, c) {
+		t.Fatal("Remove failed")
+	}
+	if g.Frozen() != nil {
+		t.Fatal("Remove must invalidate the installed snapshot")
+	}
+	sn3 := g.Freeze()
+	if sn3.Has(a, p, c) {
+		t.Fatal("re-frozen snapshot must reflect the removal")
+	}
+	if !sn3.Has(a, p, b) {
+		t.Fatal("unrelated triple lost across the lifecycle")
+	}
+
+	// Removing an absent triple is a no-op and must not invalidate.
+	if g.Remove(a, p, c) {
+		t.Fatal("Remove of absent triple reported true")
+	}
+	if g.Frozen() != sn3 {
+		t.Fatal("no-op Remove must not invalidate")
+	}
+}
+
+// TestSnapshotReadersDuringMutation is the -race coverage for the
+// snapshot immutability contract: readers hammer a captured snapshot's
+// full API while a writer mutates the mutable graph (Add, Remove, and
+// interning fresh terms) in the background.
+func TestSnapshotReadersDuringMutation(t *testing.T) {
+	g := randomRichGraph(rand.New(rand.NewSource(42)))
+	a := g.Intern(rdf.Resource("w-a"))
+	b := g.Intern(rdf.Resource("w-b"))
+	p := g.Intern(rdf.Ontology("w-p"))
+	sn := g.Freeze()
+	n := ID(sn.NumTerms())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 3000; i++ {
+			g.AddSPO(a, p, b)
+			g.Remove(a, p, b)
+			if i%100 == 0 {
+				fresh := g.Intern(rdf.Resource(fmt.Sprintf("w-fresh-%d", i)))
+				g.AddSPO(a, p, fresh)
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := ID(r.Intn(int(n)))
+				sn.HasAdjacentPred(v, p)
+				sn.Out(v)
+				sn.InPred(v, p)
+				sn.Has(v, p, v)
+				sn.IsEntity(v)
+				sn.Count(v, Any, Any)
+				_ = sn.Entities()
+				_ = sn.Stats()
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+// TestFreezeMetricsExposed pins the observability acceptance criterion:
+// after a freeze, the snapshot build-time histogram and size gauge are
+// present in the Prometheus exposition (what /metrics serves).
+func TestFreezeMetricsExposed(t *testing.T) {
+	g := smallGraph(t)
+	g.Freeze()
+	var sb strings.Builder
+	if err := obs.Default.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, name := range []string{"gqa_store_snapshot_build_seconds", "gqa_store_snapshot_bytes", "gqa_store_snapshot_builds_total"} {
+		if !strings.Contains(text, name) {
+			t.Fatalf("metric %s missing from exposition", name)
+		}
+	}
+	if sn := g.Frozen(); sn.Bytes() <= 0 {
+		t.Fatal("snapshot must report a positive byte size")
+	}
+}

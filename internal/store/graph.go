@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"gqa/internal/rdf"
 )
@@ -72,6 +73,12 @@ type Graph struct {
 	// predindex.go). It is the one structure that mutates during
 	// concurrent reads, so it carries its own lock.
 	pidx predIndex
+
+	// gen counts mutations (every Add/Remove bumps it); snap holds the
+	// frozen CSR snapshot built at some generation, cleared on mutation.
+	// See frozen.go for the freeze contract.
+	gen  atomic.Uint64
+	snap atomic.Pointer[Snapshot]
 }
 
 // New returns an empty graph.
@@ -149,6 +156,7 @@ func (g *Graph) addIDs(s, p, o ID) {
 		return
 	}
 	g.triples[spo] = struct{}{}
+	g.invalidateFrozen()
 	g.pidx.invalidate(s, o)
 	g.out[s] = append(g.out[s], Edge{Pred: p, To: o})
 	g.in[o] = append(g.in[o], Edge{Pred: p, To: s})
@@ -171,6 +179,14 @@ func (g *Graph) markClass(c ID) {
 	g.classes[c] = struct{}{}
 }
 
+// invalidateFrozen bumps the mutation generation and drops the installed
+// frozen snapshot (snapshots already handed out remain valid views of the
+// pre-mutation graph; see frozen.go).
+func (g *Graph) invalidateFrozen() {
+	g.gen.Add(1)
+	g.snap.Store(nil)
+}
+
 // Remove deletes the encoded triple, returning whether it was present.
 // Terms stay interned (IDs remain stable); adjacency, predicate counts and
 // class-instance lists are updated. Removal is O(degree).
@@ -180,6 +196,7 @@ func (g *Graph) Remove(s, p, o ID) bool {
 		return false
 	}
 	delete(g.triples, spo)
+	g.invalidateFrozen()
 	g.pidx.invalidate(s, o)
 	g.out[s] = removeEdge(g.out[s], Edge{Pred: p, To: o})
 	g.in[o] = removeEdge(g.in[o], Edge{Pred: p, To: s})
@@ -323,8 +340,13 @@ func (g *Graph) IsClass(v ID) bool {
 }
 
 // IsEntity reports whether v is an entity vertex: an IRI that occurs as a
-// subject or object and is neither a class nor used as a predicate.
+// subject or object and is neither a class nor used as a predicate. On a
+// frozen graph this reads the snapshot's precomputed role bitmap instead
+// of probing the class and predicate maps.
 func (g *Graph) IsEntity(v ID) bool {
+	if sn := g.snap.Load(); sn != nil {
+		return sn.IsEntity(v)
+	}
 	if !g.terms[v].IsIRI() || g.IsClass(v) {
 		return false
 	}
@@ -409,8 +431,12 @@ func (g *Graph) Predicates() []ID {
 // PredCount returns the number of triples using predicate p.
 func (g *Graph) PredCount(p ID) int { return g.preds[p] }
 
-// Entities returns all entity vertex IDs in ascending order.
+// Entities returns all entity vertex IDs in ascending order. On a frozen
+// graph the list was precomputed during the freeze's role pass.
 func (g *Graph) Entities() []ID {
+	if sn := g.snap.Load(); sn != nil {
+		return sn.Entities()
+	}
 	var out []ID
 	for v := range g.terms {
 		if g.IsEntity(ID(v)) {
@@ -453,8 +479,12 @@ type Stats struct {
 	Predicates int
 }
 
-// Stats computes summary statistics.
+// Stats computes summary statistics. On a frozen graph they were
+// precomputed during the freeze's role pass.
 func (g *Graph) Stats() Stats {
+	if sn := g.snap.Load(); sn != nil {
+		return sn.Stats()
+	}
 	st := Stats{
 		Triples:    g.NumTriples(),
 		Predicates: g.NumPredicates(),

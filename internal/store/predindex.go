@@ -37,6 +37,12 @@ const predIndexMinDegree = 16
 // per step is the dominant cost, so the first such query groups the list
 // once and later queries are a map lookup.
 //
+// The cache only serves the *mutable* read path. A frozen graph (see
+// frozen.go) answers the same per-predicate lookups with binary searches
+// over (Pred, To)-sorted CSR spans — no lock, no lazy build — so snapshot-
+// aware callers bypass this index entirely and it stays cold in snapshot
+// mode.
+//
 // Entries are built on demand during matching, which runs many goroutines
 // (the parallel matcher) over one shared Graph — so unlike the rest of the
 // Graph, whose structures are frozen after loading, this cache mutates

@@ -98,6 +98,10 @@ func (s *System) AnswerContext(ctx context.Context, question string) (ans *Answe
 	defer recoverPipeline("answer", question, &err)
 	ctx, cancel := s.withTimeout(ctx)
 	defer cancel()
+	// Re-freeze at the current mutation generation: a pointer load when the
+	// graph is unchanged, a rebuild (traced as "store.freeze") after
+	// maintenance mutated it, so questions always run on the CSR snapshot.
+	s.graph.FreezeCtx(ctx)
 	res, err := s.core.AnswerContext(ctx, question)
 	if err != nil {
 		return nil, err
@@ -133,5 +137,6 @@ func (s *System) QueryContext(ctx context.Context, query string) (res *sparql.Re
 	if err != nil {
 		return nil, err
 	}
+	s.graph.FreezeCtx(ctx)
 	return sparql.EvalContext(ctx, s.graph, q, s.budget.limits())
 }
