@@ -1,13 +1,15 @@
 # Tier-1 verify: everything CI (and the repo driver) runs. The race
 # detector is part of the standard gate — the answering pipeline is
 # served concurrently and the budget/degradation layer must stay
-# data-race free.
+# data-race free. fuzz-seeds replays the checked-in fuzz corpus seeds
+# (one deterministic pass, no fuzzing engine) so the parser regressions
+# they encode are part of the gate.
 
 GO ?= go
 
-.PHONY: tier1 vet build test race fuzz bench bench-store serve-smoke
+.PHONY: tier1 vet build test race fuzz fuzz-seeds bench bench-store bench-cache serve-smoke
 
-tier1: vet build race
+tier1: vet build race fuzz-seeds
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +29,11 @@ race:
 serve-smoke:
 	$(GO) test -run TestServeSmoke -v ./cmd/gqa-serve
 
+# Deterministic replay of the fuzz seed corpora (f.Add entries + any
+# checked-in testdata): runs each fuzz target as a plain test, no engine.
+fuzz-seeds:
+	$(GO) test -run 'Fuzz' ./internal/rdf/ ./internal/sparql/ ./internal/nlp/
+
 # Short fuzz passes over the parser/evaluator targets (not part of tier1).
 fuzz:
 	$(GO) test -fuzz FuzzParseSPARQL -fuzztime 30s ./internal/sparql/
@@ -42,5 +49,10 @@ bench:
 # -count 5 output with benchstat to compare runs (see EXPERIMENTS.md).
 bench-store:
 	$(GO) test -run XXX -bench 'BenchmarkHasAdjacentPred|BenchmarkOutByPred|BenchmarkStoreMatchBoundS|BenchmarkStoreHas|BenchmarkFreeze' -benchmem -count 5 ./internal/store/
-	$(GO) test -run XXX -bench BenchmarkFindTopKMatches -benchmem ./internal/core/
 	$(GO) run ./cmd/gqa-bench -exp store -json BENCH_store.json
+
+# Answer-cache benchmark: cold (pipeline) vs warm (generation-keyed hit)
+# vs coalesced latency over the benchmark workload, recorded in
+# BENCH_cache.json (warm_speedup is the headline number).
+bench-cache:
+	$(GO) run ./cmd/gqa-bench -exp cache -json BENCH_cache.json

@@ -1,0 +1,185 @@
+package gqa
+
+// Answer-cache layer of the facade. Serving traffic is heavily repetitive,
+// so AnswerContext and QueryContext consult a generation-aware LRU (see
+// internal/qcache) before running the pipeline:
+//
+//   - Keys are (normalized input, graph mutation generation, options
+//     fingerprint, engine salt). Any graph mutation bumps the generation
+//     and silently retires every cached result; changing TopK, candidate
+//     caps, heuristics, or aggregation changes the fingerprint; replacing
+//     the dictionary or registering a superlative bumps the salt.
+//   - Entries are immutable deep copies: the pipeline's answer is cloned
+//     into the cache, and every hit clones back out, so no caller can
+//     mutate a shared Answer or Result.
+//   - Degraded/truncated results are never cached. They reflect the
+//     caller's budget, not the data — a cached one would serve someone
+//     else's timeout forever.
+//   - Identical in-flight questions coalesce: N concurrent calls run the
+//     pipeline once and share the (cloned) result.
+//
+// A cache hit also replays the per-match "match" spans (score + rendered
+// disambiguation) onto the caller's trace, so ExplainContext over a cached
+// answer returns exactly the lines an uncached run would.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"gqa/internal/core"
+	"gqa/internal/obs"
+	"gqa/internal/sparql"
+)
+
+// cachedAnswer is one stored question result: the immutable master copy of
+// the answer plus the rendered explain line of each top match, kept so a
+// hit can replay them onto an enabled trace.
+type cachedAnswer struct {
+	ans     *Answer
+	renders []matchRender
+}
+
+// matchRender is one top match's trace payload: what the pipeline would
+// have recorded as a "match" span under an enabled trace.
+type matchRender struct {
+	score  float64
+	render string
+}
+
+// normalizeQuestion canonicalizes insignificant whitespace — the tokenizer
+// splits on it, so "who  is" and "who is" are the same question. Case is
+// preserved: it can carry meaning through entity mentions.
+func normalizeQuestion(q string) string {
+	return strings.Join(strings.Fields(q), " ")
+}
+
+// cacheKey assembles the cache key for one input. kind separates the
+// answer and SPARQL namespaces; the generation and salt components are the
+// invalidation tokens; the fingerprint covers every option that shapes a
+// non-degraded result (Parallelism and Budget are deliberately absent —
+// parallel answers are byte-identical to sequential, and budget-shaped
+// answers are degraded and never cached).
+func (s *System) cacheKey(kind, input string) string {
+	o := s.core.Opts
+	return fmt.Sprintf("%s\x00%s\x00g%d.s%d\x00k%d.c%d.h%t.a%t",
+		kind, input, s.graph.Generation(), s.cacheSalt.Load(),
+		o.TopK, o.MaxVertexCandidates, o.DisableHeuristicRules, o.EnableAggregation)
+}
+
+// clone returns a deep copy of the answer sharing no mutable state with
+// the receiver. The trace is dropped: it belongs to the call that recorded
+// it, never to the cache.
+func (a *Answer) clone() *Answer {
+	cp := *a
+	cp.Labels = append([]string(nil), a.Labels...)
+	cp.IRIs = append([]string(nil), a.IRIs...)
+	if a.Boolean != nil {
+		b := *a.Boolean
+		cp.Boolean = &b
+	}
+	cp.Trace = nil
+	return &cp
+}
+
+// cloneResult deep-copies a SPARQL result (rows are maps; terms are
+// immutable values).
+func cloneResult(r *sparql.Result) *sparql.Result {
+	cp := &sparql.Result{
+		Kind:      r.Kind,
+		Vars:      append([]string(nil), r.Vars...),
+		Boolean:   r.Boolean,
+		Truncated: r.Truncated,
+	}
+	if r.Rows != nil {
+		cp.Rows = make([]sparql.Row, len(r.Rows))
+		for i, row := range r.Rows {
+			m := make(sparql.Row, len(row))
+			for k, v := range row {
+				m[k] = v
+			}
+			cp.Rows[i] = m
+		}
+	}
+	return cp
+}
+
+// answerCached is AnswerContext's cache-enabled path: look up, coalesce,
+// or run the pipeline and store. Callers have already applied the timeout
+// and frozen the graph.
+func (s *System) answerCached(ctx context.Context, question string) (*Answer, error) {
+	key := s.cacheKey("a", normalizeQuestion(question))
+	sp := obs.TraceFrom(ctx).Root().Child("cache.lookup")
+	var leaderAns *Answer
+	v, outcome, err := s.cache.Do(ctx, key, func() (any, bool, error) {
+		res, err := s.core.AnswerContext(ctx, question)
+		if err != nil {
+			return nil, false, err
+		}
+		leaderAns = s.buildAnswer(res)
+		if leaderAns.Degraded != "" {
+			// Budget-shaped: correct for this caller, poison for the next.
+			return nil, false, nil
+		}
+		ent := &cachedAnswer{ans: leaderAns.clone()}
+		for i := range res.Matches {
+			ent.renders = append(ent.renders, matchRender{
+				score:  res.Matches[i].Score,
+				render: core.RenderMatch(s.graph, res.Query, &res.Matches[i]),
+			})
+		}
+		return ent, true, nil
+	})
+	sp.SetStr("outcome", string(outcome))
+	sp.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if leaderAns != nil {
+		// This call ran the pipeline itself (miss or bypass); its answer
+		// was never shared, so it needs no copy.
+		return leaderAns, nil
+	}
+	ent := v.(*cachedAnswer)
+	// Hit or coalesced: replay the match spans so Explain over a cached
+	// answer renders identically to an uncached run, then hand out a
+	// private copy of the shared entry.
+	if root := obs.TraceFrom(ctx).Root(); root.Enabled() {
+		for _, r := range ent.renders {
+			m := root.Child("match")
+			m.SetFloat("score", r.score)
+			m.SetStr("render", r.render)
+			m.Finish()
+		}
+	}
+	return ent.ans.clone(), nil
+}
+
+// queryCached is QueryContext's cache-enabled path. SPARQL text is keyed
+// verbatim (trimmed only): whitespace inside quoted literals is
+// significant, so no collapsing.
+func (s *System) queryCached(ctx context.Context, src string, q *sparql.Query) (*sparql.Result, error) {
+	key := s.cacheKey("q", strings.TrimSpace(src))
+	sp := obs.TraceFrom(ctx).Root().Child("cache.lookup")
+	var leaderRes *sparql.Result
+	v, outcome, err := s.cache.Do(ctx, key, func() (any, bool, error) {
+		res, err := sparql.EvalContext(ctx, s.graph, q, s.budget.limits())
+		if err != nil {
+			return nil, false, err
+		}
+		leaderRes = res
+		if res.Truncated != "" {
+			return nil, false, nil
+		}
+		return cloneResult(res), true, nil
+	})
+	sp.SetStr("outcome", string(outcome))
+	sp.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if leaderRes != nil {
+		return leaderRes, nil
+	}
+	return cloneResult(v.(*sparql.Result)), nil
+}

@@ -1,0 +1,344 @@
+package gqa
+
+// Facade-level cache tests: byte-identity of cached answers against the
+// uncached pipeline (including Explain output), strict coalescing under
+// the race detector, generation invalidation on graph mutation, and the
+// never-cache-degraded rule.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gqa/internal/bench"
+	"gqa/internal/faultpoint"
+	"gqa/internal/obs"
+	"gqa/internal/rdf"
+)
+
+// cacheMetric returns the current value of one of the process-wide cache
+// counters (DefaultCounter returns the already-registered instance).
+func cacheMetric(name string) int64 { return obs.DefaultCounter(name, "").Value() }
+
+// answerSignature renders everything answer-shaped about a question
+// result — labels, IRIs, boolean, failure, query graph, SPARQL, plus the
+// Explain lines — but not timings, which legitimately differ per call.
+func answerSignature(ans *Answer, lines []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ok=%v failure=%q degraded=%q\n", ans.OK, ans.Failure, ans.Degraded)
+	fmt.Fprintf(&b, "labels=%q\niris=%q\n", ans.Labels, ans.IRIs)
+	if ans.Boolean != nil {
+		fmt.Fprintf(&b, "boolean=%v\n", *ans.Boolean)
+	}
+	fmt.Fprintf(&b, "qg=%s\nsparql=%s\n", ans.QueryGraph, ans.SPARQL)
+	for _, l := range lines {
+		fmt.Fprintf(&b, "explain: %s\n", l)
+	}
+	return b.String()
+}
+
+// TestCacheDifferentialByteIdentical runs the whole benchmark workload
+// three ways on one system — uncached baseline, cache-cold (miss), and
+// cache-warm (hit) — and requires identical signatures, Explain lines
+// included: a hit must replay the match spans the pipeline would have
+// recorded.
+func TestCacheDifferentialByteIdentical(t *testing.T) {
+	sys := benchmarkSystem(t)
+	qs := bench.Workload()
+	ctx := context.Background()
+
+	baseline := make([]string, len(qs))
+	for i, q := range qs {
+		ans, lines, err := sys.ExplainContext(ctx, q.Text)
+		if err != nil {
+			t.Fatalf("%s uncached: %v", q.ID, err)
+		}
+		baseline[i] = answerSignature(ans, lines)
+	}
+
+	sys.SetCache(1024)
+	h0, m0 := cacheMetric("gqa_cache_hits_total"), cacheMetric("gqa_cache_misses_total")
+	for pass, want := range map[string]int64{"cold": 0, "warm": int64(len(qs))} {
+		hBefore := cacheMetric("gqa_cache_hits_total")
+		for i, q := range qs {
+			ans, lines, err := sys.ExplainContext(ctx, q.Text)
+			if err != nil {
+				t.Fatalf("%s %s: %v", q.ID, pass, err)
+			}
+			if got := answerSignature(ans, lines); got != baseline[i] {
+				t.Errorf("%s: %s answer differs from uncached baseline:\n--- uncached\n%s--- %s\n%s",
+					q.ID, pass, baseline[i], pass, got)
+			}
+		}
+		if hits := cacheMetric("gqa_cache_hits_total") - hBefore; hits != want {
+			t.Errorf("%s pass: %d hits, want %d", pass, hits, want)
+		}
+	}
+	if misses := cacheMetric("gqa_cache_misses_total") - m0; misses != int64(len(qs)) {
+		t.Errorf("cold pass misses = %d, want %d", misses, len(qs))
+	}
+	_ = h0
+}
+
+// TestCacheCoalescing: K concurrent identical questions on a cold cache
+// run the pipeline exactly once (one gqa_core_questions_total increment);
+// the other K-1 callers coalesce onto the leader and everyone receives the
+// same answer. A matcher delay holds the leader in flight long enough that
+// every waiter provably arrives before it finishes.
+func TestCacheCoalescing(t *testing.T) {
+	sys := benchmarkSystem(t)
+	sys.SetCache(64)
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	faultpoint.Set(faultpoint.MatcherExtend, faultpoint.Fault{Delay: 5 * time.Millisecond})
+
+	const K = 8
+	q0 := cacheMetric("gqa_core_questions_total")
+	c0 := cacheMetric("gqa_cache_coalesced_total")
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	answers := make([]*Answer, K)
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			answers[i], errs[i] = sys.AnswerContext(context.Background(), runningExample)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	want := answerSignature(answers[0], nil)
+	for i := 0; i < K; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if got := answerSignature(answers[i], nil); got != want {
+			t.Errorf("caller %d answer differs:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+	if runs := cacheMetric("gqa_core_questions_total") - q0; runs != 1 {
+		t.Errorf("pipeline ran %d times for %d concurrent identical questions, want exactly 1", runs, K)
+	}
+	if co := cacheMetric("gqa_cache_coalesced_total") - c0; co != K-1 {
+		t.Errorf("coalesced = %d, want %d", co, K-1)
+	}
+}
+
+// TestCacheInvalidationOnMutation: a graph mutation bumps the generation,
+// so the next identical question misses (the cached entry's key no longer
+// matches) and runs on a re-frozen snapshot at the new generation.
+func TestCacheInvalidationOnMutation(t *testing.T) {
+	sys := benchmarkSystem(t)
+	sys.SetCache(64)
+	ctx := context.Background()
+	const q = "Who is the mayor of Berlin?"
+
+	first, err := sys.AnswerContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := cacheMetric("gqa_cache_hits_total")
+	if _, err := sys.AnswerContext(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if d := cacheMetric("gqa_cache_hits_total") - h0; d != 1 {
+		t.Fatalf("re-ask before mutation: %d hits, want 1", d)
+	}
+
+	// An unrelated triple: the answer must not change, but the entry must.
+	g := sys.Graph()
+	genBefore := g.Generation()
+	g.AddSPO(
+		g.Intern(rdf.Resource("CacheProbe")),
+		g.Intern(rdf.NewIRI(rdf.RDFType)),
+		g.Intern(rdf.Ontology("Thing")),
+	)
+	if g.Generation() == genBefore {
+		t.Fatal("AddSPO did not bump the generation")
+	}
+
+	m0 := cacheMetric("gqa_cache_misses_total")
+	after, err := sys.AnswerContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cacheMetric("gqa_cache_misses_total") - m0; d != 1 {
+		t.Errorf("ask after mutation: %d misses, want 1 (generation must retire the entry)", d)
+	}
+	if sig := answerSignature(after, nil); sig != answerSignature(first, nil) {
+		t.Errorf("unrelated mutation changed the answer:\n%s\nvs\n%s", sig, answerSignature(first, nil))
+	}
+	if fz := g.Frozen(); fz == nil || fz.Generation() != g.Generation() {
+		t.Error("answer after mutation did not re-freeze the snapshot at the new generation")
+	}
+}
+
+// TestDegradedAnswerNotCached: a timeout-degraded answer reflects the
+// caller's budget, not the data — it must not be stored, so the next ask
+// runs the pipeline again, and an unconstrained re-ask produces the full
+// answer.
+func TestDegradedAnswerNotCached(t *testing.T) {
+	sys := benchmarkSystem(t)
+	sys.SetCache(64)
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	faultpoint.Set(faultpoint.MatcherExtend, faultpoint.Fault{Delay: 2 * time.Millisecond})
+
+	ask := func() *Answer {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		defer cancel()
+		ans, err := sys.AnswerContext(ctx, runningExample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ans
+	}
+	q0 := cacheMetric("gqa_core_questions_total")
+	if ans := ask(); ans.Degraded != "deadline" {
+		t.Fatalf("Degraded = %q, want \"deadline\"", ans.Degraded)
+	}
+	if ans := ask(); ans.Degraded != "deadline" {
+		t.Fatalf("re-ask Degraded = %q, want \"deadline\" (a cached degraded answer?)", ans.Degraded)
+	}
+	if runs := cacheMetric("gqa_core_questions_total") - q0; runs != 2 {
+		t.Errorf("pipeline ran %d times for two degraded asks, want 2 (degraded answers must not be cached)", runs)
+	}
+
+	// With the budget lifted the same question must now produce — and
+	// cache — the complete answer.
+	faultpoint.Reset()
+	full, err := sys.AnswerContext(context.Background(), runningExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Degraded != "" || !full.OK {
+		t.Fatalf("unconstrained re-ask: %+v, want a complete answer", full)
+	}
+	h0 := cacheMetric("gqa_cache_hits_total")
+	if _, err := sys.AnswerContext(context.Background(), runningExample); err != nil {
+		t.Fatal(err)
+	}
+	if d := cacheMetric("gqa_cache_hits_total") - h0; d != 1 {
+		t.Errorf("complete answer was not cached (hits delta %d, want 1)", d)
+	}
+}
+
+// TestReturnedAnswerIsPrivateCopy: mutating an answer a caller got from
+// the cache must not poison the stored entry.
+func TestReturnedAnswerIsPrivateCopy(t *testing.T) {
+	sys := benchmarkSystem(t)
+	sys.SetCache(64)
+	ctx := context.Background()
+	const q = "Who is the mayor of Berlin?"
+
+	first, err := sys.AnswerContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := answerSignature(first, nil)
+	hit1, err := sys.AnswerContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hit1.Labels) == 0 {
+		t.Fatal("expected a labeled answer")
+	}
+	hit1.Labels[0] = "VANDALIZED"
+	hit1.IRIs = nil
+
+	hit2, err := sys.AnswerContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := answerSignature(hit2, nil); got != want {
+		t.Errorf("mutating a returned answer changed the cache:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestQueryCacheAndTruncationRule: SPARQL results cache and invalidate the
+// same way; truncated results never cache; returned row sets are private
+// copies.
+func TestQueryCacheAndTruncationRule(t *testing.T) {
+	base := benchmarkSystem(t)
+	sys := NewSystem(base.Graph(), base.Dictionary(), Options{Cache: CacheConfig{Entries: 64}})
+	ctx := context.Background()
+	const query = `SELECT ?f WHERE { ?f dbo:starring dbr:Antonio_Banderas }`
+
+	first, err := sys.QueryContext(ctx, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Rows) == 0 {
+		t.Fatal("expected rows")
+	}
+	h0 := cacheMetric("gqa_cache_hits_total")
+	hit, err := sys.QueryContext(ctx, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cacheMetric("gqa_cache_hits_total") - h0; d != 1 {
+		t.Fatalf("repeat query: hits delta %d, want 1", d)
+	}
+	// Vandalize the returned rows; the next hit must be unaffected.
+	for k := range hit.Rows[0] {
+		delete(hit.Rows[0], k)
+	}
+	hit.Vars = nil
+	again, err := sys.QueryContext(ctx, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Rows) != len(first.Rows) || len(again.Rows[0]) != len(first.Rows[0]) {
+		t.Error("mutating a returned result changed the cached entry")
+	}
+
+	// A row-budgeted system truncates — and must re-evaluate every time.
+	tsys := NewSystem(base.Graph(), base.Dictionary(), Options{
+		Cache:  CacheConfig{Entries: 64},
+		Budget: Budget{MaxSPARQLRows: 1},
+	})
+	m0 := cacheMetric("gqa_cache_misses_total")
+	for i := 0; i < 2; i++ {
+		res, err := tsys.QueryContext(ctx, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Truncated != "rows" {
+			t.Fatalf("ask %d: Truncated = %q, want \"rows\"", i, res.Truncated)
+		}
+	}
+	if d := cacheMetric("gqa_cache_misses_total") - m0; d != 2 {
+		t.Errorf("two truncated queries: misses delta %d, want 2 (truncated results must not be cached)", d)
+	}
+}
+
+// TestCacheSaltInvalidation: engine mutations the graph generation cannot
+// see — dictionary replacement, superlative registration — must also
+// retire cached answers.
+func TestCacheSaltInvalidation(t *testing.T) {
+	sys := benchmarkSystem(t)
+	sys.SetCache(64)
+	ctx := context.Background()
+	const q = "Who is the mayor of Berlin?"
+	if _, err := sys.AnswerContext(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.RegisterSuperlative("oldest", "http://dbpedia.org/ontology/age", true) {
+		t.Fatal("RegisterSuperlative: predicate not in the benchmark KB")
+	}
+	m0 := cacheMetric("gqa_cache_misses_total")
+	if _, err := sys.AnswerContext(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if d := cacheMetric("gqa_cache_misses_total") - m0; d != 1 {
+		t.Errorf("ask after RegisterSuperlative: misses delta %d, want 1 (salt must retire entries)", d)
+	}
+}

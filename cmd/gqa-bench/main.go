@@ -24,8 +24,10 @@ import (
 	"reflect"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
+	"gqa"
 	"gqa/internal/bench"
 	"gqa/internal/core"
 	"gqa/internal/deanna"
@@ -62,6 +64,7 @@ func main() {
 		{"ablations", ablations, "design-choice ablations"},
 		{"parallel", parallelExp, "seq-vs-par top-k matcher speedup"},
 		{"store", storeExp, "frozen CSR snapshot vs mutable adjacency store"},
+		{"cache", cacheExp, "answer cache: cold vs warm vs coalesced latency"},
 		{"aggext", aggext, "aggregation extension (future work): Table 8/10 deltas"},
 		{"yago2", yago2, "the omitted YAGO2 evaluation (§6: reported for DBpedia only)"},
 	}
@@ -738,6 +741,116 @@ func storeExp() {
 	report.Freeze.Triples = sn.NumTriples()
 	report.Freeze.Terms = sn.NumTerms()
 
+	if *jsonPath != "" {
+		report.Metrics = obs.Default.Snapshot()
+		writeJSON(*jsonPath, report)
+	}
+}
+
+// ------------------------------------------------------------------- cache
+
+// cacheExp measures the answer cache on the benchmark workload: cold
+// latency (first ask, a miss that runs the pipeline), warm latency
+// (re-ask, a generation-keyed hit), and coalesced throughput (K identical
+// questions in flight at once run the pipeline exactly once). With -json
+// PATH the comparison is written as JSON (the BENCH_cache.json artifact);
+// warm_speedup is the headline number.
+func cacheExp() {
+	sys := must(gqa.BenchmarkSystem())
+	sys.SetCache(1024)
+	qs := bench.Workload()
+
+	type qrow struct {
+		ID      string  `json:"id"`
+		ColdNs  int64   `json:"cold_ns"`
+		WarmNs  int64   `json:"warm_ns"`
+		Speedup float64 `json:"speedup"`
+	}
+	const warmReps = 20
+	var rows []qrow
+	var coldTotal, warmTotal int64
+	fmt.Println("question  cold         warm        speedup")
+	for _, q := range qs {
+		start := time.Now()
+		must(sys.Answer(q.Text))
+		cold := time.Since(start).Nanoseconds()
+		warm := int64(0)
+		for r := 0; r < warmReps; r++ {
+			start = time.Now()
+			must(sys.Answer(q.Text))
+			if d := time.Since(start).Nanoseconds(); warm == 0 || d < warm {
+				warm = d
+			}
+		}
+		rows = append(rows, qrow{ID: q.ID, ColdNs: cold, WarmNs: warm,
+			Speedup: float64(cold) / float64(warm)})
+		coldTotal += cold
+		warmTotal += warm
+		fmt.Printf("%-9s %-12s %-11s %6.0f×\n", q.ID,
+			time.Duration(cold).Round(time.Microsecond),
+			time.Duration(warm).Round(time.Microsecond),
+			float64(cold)/float64(warm))
+	}
+	warmSpeedup := float64(coldTotal) / float64(warmTotal)
+	fmt.Printf("workload: cold %s, warm %s — %.0f× warm speedup\n",
+		time.Duration(coldTotal).Round(time.Microsecond),
+		time.Duration(warmTotal).Round(time.Microsecond), warmSpeedup)
+
+	// Coalescing: K goroutines ask the same (never-cached-before) question
+	// through a fresh cache. The pipeline must run once; K-1 callers share
+	// the leader's answer.
+	const K = 8
+	sys.SetCache(1024) // fresh cache: the question below must be cold
+	questions := obs.DefaultCounter("gqa_core_questions_total", "")
+	coalesced := obs.DefaultCounter("gqa_cache_coalesced_total", "")
+	hits := obs.DefaultCounter("gqa_cache_hits_total", "")
+	q0, c0, h0 := questions.Value(), coalesced.Value(), hits.Value()
+	target := qs[0].Text
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			must(sys.Answer(target))
+		}()
+	}
+	wg.Wait()
+	wallNs := time.Since(start).Nanoseconds()
+	pipelineRuns := questions.Value() - q0
+	coalescedWaiters := coalesced.Value() - c0
+	// Callers arriving after the leader finished are hits instead of
+	// coalesced waiters; either way the pipeline ran once.
+	lateHits := hits.Value() - h0
+	fmt.Printf("coalescing: %d concurrent identical questions → %d pipeline run(s), %d coalesced, %d hits, %s wall\n",
+		K, pipelineRuns, coalescedWaiters, lateHits, time.Duration(wallNs).Round(time.Microsecond))
+
+	report := struct {
+		GOMAXPROCS   int     `json:"gomaxprocs"`
+		NumCPU       int     `json:"num_cpu"`
+		CacheEntries int     `json:"cache_entries"`
+		Questions    []qrow  `json:"questions"`
+		ColdTotalNs  int64   `json:"cold_total_ns"`
+		WarmTotalNs  int64   `json:"warm_total_ns"`
+		WarmSpeedup  float64 `json:"warm_speedup"`
+		Coalescing   struct {
+			Concurrency      int   `json:"concurrency"`
+			PipelineRuns     int64 `json:"pipeline_runs"`
+			CoalescedWaiters int64 `json:"coalesced_waiters"`
+			LateHits         int64 `json:"late_hits"`
+			WallNs           int64 `json:"wall_ns"`
+		} `json:"coalescing"`
+		Metrics map[string]any `json:"metrics"`
+	}{
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		CacheEntries: 1024, Questions: rows,
+		ColdTotalNs: coldTotal, WarmTotalNs: warmTotal, WarmSpeedup: warmSpeedup,
+	}
+	report.Coalescing.Concurrency = K
+	report.Coalescing.PipelineRuns = pipelineRuns
+	report.Coalescing.CoalescedWaiters = coalescedWaiters
+	report.Coalescing.LateHits = lateHits
+	report.Coalescing.WallNs = wallNs
 	if *jsonPath != "" {
 		report.Metrics = obs.Default.Snapshot()
 		writeJSON(*jsonPath, report)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gqa-cli [-graph graph.nt -dict dict.tsv] [-explain] [-trace] [-parallel N] [question ...]
+//	gqa-cli [-graph graph.nt -dict dict.tsv] [-explain] [-trace] [-parallel N] [-cache N] [question ...]
 //
 // Without -graph/-dict it runs over the bundled mini-DBpedia benchmark
 // knowledge base with a freshly mined paraphrase dictionary. Questions
@@ -41,6 +41,7 @@ func main() {
 	aggregate := flag.Bool("aggregate", false, "enable the counting/superlative extension")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per question (0 = unlimited), e.g. 500ms")
 	parallel := flag.Int("parallel", 0, "matcher worker goroutines per question (0 = GOMAXPROCS, 1 = sequential); answers are identical at every setting")
+	cacheSize := flag.Int("cache", 256, "answer-cache capacity in entries (0 = disabled); re-asking a question in the REPL hits the cache")
 	flag.Parse()
 
 	sys, err := buildSystem(*graphPath, *dictPath, *aggregate)
@@ -49,6 +50,7 @@ func main() {
 		os.Exit(1)
 	}
 	sys.SetParallelism(*parallel)
+	sys.SetCache(*cacheSize)
 
 	if flag.NArg() > 0 {
 		for _, q := range flag.Args() {

@@ -5,6 +5,7 @@
 //
 //	gqa-serve [-addr host:port] [-graph graph.nt -dict dict.tsv]
 //	          [-aggregate] [-parallel N] [-timeout d]
+//	          [-cache N] [-max-question N]
 //
 // Without -graph/-dict it serves the bundled mini-DBpedia benchmark
 // knowledge base with a freshly mined paraphrase dictionary.
@@ -23,6 +24,10 @@
 // Every request is traced (the trace feeds /debug/trace/latest); -timeout
 // bounds each question's wall-clock time, degrading to the best partial
 // answer found (the "degraded" field names the exhausted resource).
+// Answers are cached (-cache, generation-aware LRU with request
+// coalescing; 0 disables), question length is capped (-max-question), and
+// the server enforces read-header/idle timeouts so a slow client cannot
+// pin a connection open indefinitely.
 package main
 
 import (
@@ -49,6 +54,8 @@ func main() {
 	aggregate := flag.Bool("aggregate", false, "enable the counting/superlative extension")
 	parallel := flag.Int("parallel", 0, "matcher worker goroutines per question (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 5*time.Second, "wall-clock budget per question (0 = unlimited)")
+	cacheSize := flag.Int("cache", 4096, "answer-cache capacity in entries (0 = disabled)")
+	maxQuestion := flag.Int("max-question", 1024, "maximum accepted question length in bytes")
 	flag.Parse()
 
 	sys, err := buildSystem(*graphPath, *dictPath, *aggregate)
@@ -57,6 +64,7 @@ func main() {
 		os.Exit(1)
 	}
 	sys.SetParallelism(*parallel)
+	sys.SetCache(*cacheSize)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -64,7 +72,16 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("gqa-serve: listening on http://%s", ln.Addr())
-	log.Fatal(http.Serve(ln, newServer(sys, *timeout)))
+	// A configured http.Server, not bare http.Serve: without a
+	// ReadHeaderTimeout any client can hold a connection open forever by
+	// sending its headers one byte at a time (slowloris).
+	srv := &http.Server{
+		Handler:           newServer(sys, *timeout, *maxQuestion),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Fatal(srv.Serve(ln))
 }
 
 func buildSystem(graphPath, dictPath string, aggregate bool) (*gqa.System, error) {
@@ -100,14 +117,15 @@ func buildSystem(graphPath, dictPath string, aggregate bool) (*gqa.System, error
 
 // server is the HTTP front end: the engine plus the last question's trace.
 type server struct {
-	sys     *gqa.System
-	timeout time.Duration
-	latest  atomic.Pointer[obs.Trace]
-	mux     *http.ServeMux
+	sys         *gqa.System
+	timeout     time.Duration
+	maxQuestion int
+	latest      atomic.Pointer[obs.Trace]
+	mux         *http.ServeMux
 }
 
-func newServer(sys *gqa.System, timeout time.Duration) *server {
-	s := &server{sys: sys, timeout: timeout, mux: http.NewServeMux()}
+func newServer(sys *gqa.System, timeout time.Duration, maxQuestion int) *server {
+	s := &server{sys: sys, timeout: timeout, maxQuestion: maxQuestion, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/answer", s.handleAnswer)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/trace/latest", s.handleLatestTrace)
@@ -130,10 +148,23 @@ type answerResponse struct {
 	Trace    json.RawMessage `json:"trace,omitempty"`
 }
 
+// jsonError writes a JSON error body so API clients never have to parse a
+// plain-text 400.
+func jsonError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck
+}
+
 func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	if s.maxQuestion > 0 && len(q) > s.maxQuestion {
+		jsonError(w, http.StatusBadRequest,
+			fmt.Sprintf("question exceeds %d bytes", s.maxQuestion))
 		return
 	}
 	ctx := r.Context()
@@ -144,7 +175,7 @@ func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	}
 	ans, err := s.sys.AnswerTraced(ctx, q)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		jsonError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	s.latest.Store(ans.Trace)

@@ -28,7 +28,7 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("listen: %v", err)
 	}
 	defer ln.Close()
-	go func() { _ = http.Serve(ln, newServer(sys, 30*time.Second)) }()
+	go func() { _ = http.Serve(ln, newServer(sys, 30*time.Second, 1024)) }()
 	base := "http://" + ln.Addr().String()
 
 	questionsBefore := metricValue(t, base, "gqa_core_questions_total")
@@ -65,26 +65,56 @@ func TestServeSmoke(t *testing.T) {
 	}
 }
 
-func TestServeAnswerMissingParam(t *testing.T) {
+// TestServeAnswerBadRequests: missing and oversized questions are both
+// rejected with 400 and a JSON error body, before any pipeline work.
+func TestServeAnswerBadRequests(t *testing.T) {
 	sys, err := gqa.BenchmarkSystem()
 	if err != nil {
 		t.Fatalf("building benchmark system: %v", err)
 	}
-	srv := newServer(sys, 0)
+	srv := newServer(sys, 0, 64)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)
 	}
 	defer ln.Close()
 	go func() { _ = http.Serve(ln, srv) }()
+	base := "http://" + ln.Addr().String()
 
-	resp, err := http.Get("http://" + ln.Addr().String() + "/answer")
-	if err != nil {
-		t.Fatalf("GET /answer: %v", err)
+	for _, tc := range []struct {
+		name, url string
+	}{
+		{"missing q", base + "/answer"},
+		{"oversized q", base + "/answer?q=" + url.QueryEscape(strings.Repeat("w", 65))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Get(tc.url)
+			if err != nil {
+				t.Fatalf("GET: %v", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status %d, want %d", resp.StatusCode, http.StatusBadRequest)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type = %q, want application/json", ct)
+			}
+			var body struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("error body is not JSON: %v", err)
+			}
+			if body.Error == "" {
+				t.Error("error body missing the error field")
+			}
+		})
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("GET /answer without q: status %d, want %d", resp.StatusCode, http.StatusBadRequest)
+
+	// A question at exactly the cap still goes through the pipeline.
+	ok := get(t, base+"/answer?q="+url.QueryEscape(strings.Repeat("w", 64)))
+	if !strings.Contains(ok, `"ok":`) {
+		t.Errorf("at-cap question should reach the pipeline, got %s", ok)
 	}
 }
 

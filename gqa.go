@@ -32,12 +32,14 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"gqa/internal/bench"
 	"gqa/internal/core"
 	"gqa/internal/dict"
 	"gqa/internal/obs"
+	"gqa/internal/qcache"
 	"gqa/internal/rdf"
 	"gqa/internal/sparql"
 	"gqa/internal/store"
@@ -68,6 +70,18 @@ type Options struct {
 	// rows). The zero value means unlimited — identical behavior to an
 	// unbudgeted engine. See AnswerContext for the degradation contract.
 	Budget Budget
+	// Cache configures the generation-aware answer cache. The zero value
+	// disables caching entirely — bit-identical behavior to the uncached
+	// engine. See the Caching section of the README for the key structure
+	// and invalidation contract.
+	Cache CacheConfig
+}
+
+// CacheConfig sizes the answer cache (see Options.Cache and SetCache).
+type CacheConfig struct {
+	// Entries is the maximum number of cached results (answers and SPARQL
+	// result sets share the capacity). Zero disables caching.
+	Entries int
 }
 
 // System is a ready-to-query Q/A engine: an RDF graph, a paraphrase
@@ -77,6 +91,12 @@ type System struct {
 	dict   *dict.Dictionary
 	core   *core.System
 	budget Budget
+	cache  *qcache.Cache
+	// cacheSalt invalidates cached answers on engine mutations the graph
+	// generation cannot see: dictionary replacement (MineDictionary) and
+	// superlative registration both change answers without touching a
+	// triple, so each bump retires every cached entry via the key.
+	cacheSalt atomic.Uint64
 }
 
 // NewSystem assembles a System from a loaded graph and dictionary. A nil
@@ -96,6 +116,7 @@ func NewSystem(g *store.Graph, d *dict.Dictionary, opts Options) *System {
 		graph:  g,
 		dict:   d,
 		budget: opts.Budget,
+		cache:  qcache.New(opts.Cache.Entries),
 		core: core.NewSystem(g, d, core.Options{
 			TopK:                  opts.TopK,
 			MaxVertexCandidates:   opts.MaxCandidates,
@@ -114,6 +135,12 @@ func (s *System) SetAggregation(on bool) { s.core.Opts.EnableAggregation = on }
 // Options.Parallelism). Not safe to call concurrently with Answer.
 func (s *System) SetParallelism(p int) { s.core.Opts.Parallelism = p }
 
+// SetCache replaces the answer cache with a fresh one holding up to
+// entries results (zero disables caching — the exact uncached code path).
+// The binaries use it to honor their -cache flag over systems built with
+// default options. Not safe to call concurrently with Answer.
+func (s *System) SetCache(entries int) { s.cache = qcache.New(entries) }
+
 // RegisterSuperlative teaches the aggregation extension how to interpret a
 // superlative adjective: rank candidate answers by the numeric object of
 // predIRI, taking the maximum (max=true: "oldest") or minimum ("youngest").
@@ -123,6 +150,7 @@ func (s *System) RegisterSuperlative(adjective, predIRI string, max bool) bool {
 		return false
 	}
 	s.core.RegisterSuperlative(adjective, id, max)
+	s.cacheSalt.Add(1)
 	return true
 }
 
@@ -163,6 +191,7 @@ func (s *System) MineDictionary(sets []dict.SupportSet, maxPathLen, topK int) {
 	d, _ := dict.Mine(s.graph, sets, dict.MineOptions{MaxPathLen: maxPathLen, TopK: topK})
 	s.dict = d
 	s.core.Dict = d
+	s.cacheSalt.Add(1)
 }
 
 // Metrics returns a point-in-time snapshot of every pipeline metric —

@@ -11,6 +11,12 @@ func FuzzParseNTriples(f *testing.F) {
 	f.Add(`_:b <http://e/p> _:c .`)
 	f.Add(`# comment`)
 	f.Add(`malformed`)
+	f.Add(`<http://e/s> <http://e/p> "A\U0001F600" .`)
+	f.Add(`<http://e/s> <http://e/p> "\uD800" .`)     // surrogate: must error, not U+FFFD
+	f.Add(`<http://e/s> <http://e/p> "\U00110000" .`) // beyond U+10FFFF: must error
+	f.Add(`<http://e/s> <http://e/p> "x"@-en .`)      // lang tag must start with a letter
+	f.Add(`<http://e/s> <http://e/p> "x"@1en .`)
+	f.Add(`<http://e/s> <http://e/p> "x"@en-US .`)
 	f.Fuzz(func(t *testing.T, line string) {
 		ts, err := ParseString(line)
 		if err != nil {

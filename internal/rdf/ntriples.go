@@ -129,6 +129,13 @@ func (p *lineParser) errf(format string, args ...any) error {
 	return &ParseError{Line: p.line, Col: p.pos + 1, Msg: fmt.Sprintf(format, args...)}
 }
 
+// errAt is errf pointing at an explicit byte offset — for errors found
+// mid-scan (escape sequences, language tags) where p.pos still holds the
+// token start rather than the offending character.
+func (p *lineParser) errAt(pos int, format string, args ...any) error {
+	return &ParseError{Line: p.line, Col: pos + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
 func (p *lineParser) skipSpace() {
 	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
 		p.pos++
@@ -230,7 +237,17 @@ func (p *lineParser) literal() (Term, error) {
 			}
 			v, err := strconv.ParseUint(p.s[i+2:i+2+n], 16, 32)
 			if err != nil {
-				return Term{}, p.errf("bad \\%c escape: %v", p.s[i+1], err)
+				return Term{}, p.errAt(i, "bad \\%c escape: %v", p.s[i+1], err)
+			}
+			// Reject escapes that do not name a Unicode scalar value.
+			// WriteRune would silently substitute U+FFFD, so a surrogate
+			// or out-of-range escape would round-trip to a different
+			// document instead of an error.
+			if v >= 0xD800 && v <= 0xDFFF {
+				return Term{}, p.errAt(i, "\\%c escape %04X is a UTF-16 surrogate, not a Unicode scalar value", p.s[i+1], v)
+			}
+			if v > 0x10FFFF {
+				return Term{}, p.errAt(i, "\\%c escape %X is beyond U+10FFFF", p.s[i+1], v)
 			}
 			b.WriteRune(rune(v))
 			i += 2 + n
@@ -251,6 +268,11 @@ func (p *lineParser) literal() (Term, error) {
 		if j == start {
 			return Term{}, p.errf("empty language tag")
 		}
+		// BCP 47: the primary subtag is alphabetic, so the tag must open
+		// with a letter ("@-en" and "@1en" are malformed).
+		if !isAlpha(p.s[start]) {
+			return Term{}, p.errAt(start, "language tag must start with a letter")
+		}
 		p.pos = j
 		return NewLangLiteral(lex, p.s[start:j]), nil
 	}
@@ -266,6 +288,10 @@ func (p *lineParser) literal() (Term, error) {
 	return NewLiteral(lex), nil
 }
 
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
 func isAlnum(c byte) bool {
-	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+	return isAlpha(c) || c >= '0' && c <= '9'
 }

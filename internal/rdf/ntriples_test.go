@@ -69,6 +69,16 @@ func TestParseErrors(t *testing.T) {
 		{"garbage term", `? <http://e/p> <http://e/o> .`},
 		{"datatype without iri", `<http://e/s> <http://e/p> ""^^> .`}, // fuzz regression
 		{"datatype bare", `<http://e/s> <http://e/p> "x"^^ .`},
+		// Escapes naming non-scalar code points used to be accepted and
+		// silently replaced with U+FFFD — a lossy round trip.
+		{"surrogate low bound", `<http://e/s> <http://e/p> "\uD800" .`},
+		{"surrogate high bound", `<http://e/s> <http://e/p> "\uDFFF" .`},
+		{"surrogate long form", `<http://e/s> <http://e/p> "\U0000D834" .`},
+		{"beyond unicode", `<http://e/s> <http://e/p> "\U00110000" .`},
+		{"beyond unicode max", `<http://e/s> <http://e/p> "\UFFFFFFFF" .`},
+		// Language tags must open with a letter (BCP 47 primary subtag).
+		{"lang starts with dash", `<http://e/s> <http://e/p> "x"@-en .`},
+		{"lang starts with digit", `<http://e/s> <http://e/p> "x"@1en .`},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -78,6 +88,40 @@ func TestParseErrors(t *testing.T) {
 				t.Fatalf("want *ParseError, got %T: %v", err, err)
 			}
 		})
+	}
+}
+
+// TestEscapeErrorsArePositioned: the rejected escape's error must point at
+// the backslash inside the literal, not at the token start.
+func TestEscapeErrorsArePositioned(t *testing.T) {
+	src := `<http://e/s> <http://e/p> "ab\uD800" .`
+	_, err := ParseString(src)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("want *ParseError, got %T: %v", err, err)
+	}
+	// The backslash is at byte offset 29; Col is 1-based.
+	if pe.Col != 30 {
+		t.Errorf("Col = %d, want 30 (the \\u escape), not the literal start", pe.Col)
+	}
+	if !strings.Contains(pe.Msg, "surrogate") {
+		t.Errorf("message %q should name the surrogate", pe.Msg)
+	}
+}
+
+// TestScalarBoundaryEscapes: the code points adjacent to the rejected
+// ranges must still parse, and well-formed language subtags survive.
+func TestScalarBoundaryEscapes(t *testing.T) {
+	src := `<http://e/s> <http://e/p> "퟿\U0010FFFF"@en-US .`
+	got, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "퟿\U0010FFFF"; got[0].Object.Value() != want {
+		t.Errorf("unescaped %q, want %q", got[0].Object.Value(), want)
+	}
+	if got[0].Object.Lang() != "en-US" {
+		t.Errorf("lang = %q, want en-US", got[0].Object.Lang())
 	}
 }
 

@@ -189,24 +189,7 @@ func evalTracked(g *store.Graph, q *Query, tr *budget.Tracker) (*Result, error) 
 	// ORDER BY before projection (keys need not be projected).
 	if len(q.OrderBy) > 0 {
 		sort.SliceStable(rows, func(i, j int) bool {
-			for _, k := range q.OrderBy {
-				ti, iok := boundTerm(g, rows[i], k.Var)
-				tj, jok := boundTerm(g, rows[j], k.Var)
-				if !iok || !jok {
-					if iok != jok {
-						return jok // unbound sorts last
-					}
-					continue
-				}
-				c := compareTerms(ti, tj)
-				if c != 0 {
-					if k.Desc {
-						return c > 0
-					}
-					return c < 0
-				}
-			}
-			return false
+			return orderLess(g, rows[i], rows[j], q.OrderBy)
 		})
 	}
 
@@ -331,6 +314,31 @@ func boundTerm(g *store.Graph, b map[string]store.ID, v string) (rdf.Term, bool)
 		return rdf.Term{}, false
 	}
 	return g.Term(id), true
+}
+
+// orderLess is the ORDER BY comparator: does row a sort strictly before
+// row b under keys? A row missing a key sorts after every bound row on
+// that key, regardless of ASC/DESC (SPARQL puts unbound lowest; we follow
+// the more useful serving convention of unbound-last either way).
+func orderLess(g *store.Graph, a, b map[string]store.ID, keys []OrderKey) bool {
+	for _, k := range keys {
+		ta, aok := boundTerm(g, a, k.Var)
+		tb, bok := boundTerm(g, b, k.Var)
+		if !aok || !bok {
+			if aok != bok {
+				return aok // unbound sorts last
+			}
+			continue
+		}
+		c := compareTerms(ta, tb)
+		if c != 0 {
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+	}
+	return false
 }
 
 // evalFilter evaluates one FILTER comparison under a binding. An unbound

@@ -1,0 +1,62 @@
+package sparql
+
+import (
+	"testing"
+
+	"gqa/internal/rdf"
+	"gqa/internal/store"
+)
+
+// TestOrderLessUnboundSortsLast is the regression test for the comparator
+// bug where a row missing the sort key sorted FIRST: with exactly one side
+// unbound the comparator returned the wrong side's bound flag, so unbound
+// rows floated to the top despite the "unbound sorts last" contract. The
+// bound/unbound decision sits outside the Desc branch, so both directions
+// must agree.
+func TestOrderLessUnboundSortsLast(t *testing.T) {
+	g := store.New()
+	low := g.Intern(rdf.NewTypedLiteral("10", rdf.XSDInteger))
+	high := g.Intern(rdf.NewTypedLiteral("20", rdf.XSDInteger))
+
+	bound := map[string]store.ID{"x": low}
+	alsoBound := map[string]store.ID{"x": high}
+	unbound := map[string]store.ID{}
+
+	for _, dir := range []struct {
+		name string
+		keys []OrderKey
+	}{
+		{"asc", []OrderKey{{Var: "x"}}},
+		{"desc", []OrderKey{{Var: "x", Desc: true}}},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			if !orderLess(g, bound, unbound, dir.keys) {
+				t.Error("bound row must sort before unbound row")
+			}
+			if orderLess(g, unbound, bound, dir.keys) {
+				t.Error("unbound row must not sort before bound row")
+			}
+			// Two unbound rows are equal on this key: neither precedes.
+			if orderLess(g, unbound, unbound, dir.keys) {
+				t.Error("two unbound rows must compare equal, not less")
+			}
+		})
+	}
+
+	// Direction still controls the bound-vs-bound comparison.
+	if !orderLess(g, bound, alsoBound, []OrderKey{{Var: "x"}}) {
+		t.Error("ascending: 10 must sort before 20")
+	}
+	if !orderLess(g, alsoBound, bound, []OrderKey{{Var: "x", Desc: true}}) {
+		t.Error("descending: 20 must sort before 10")
+	}
+
+	// Multi-key: a tie on the first key falls through to the second, and
+	// an unbound second key still sorts last.
+	tie1 := map[string]store.ID{"a": low, "b": high}
+	tie2 := map[string]store.ID{"a": low}
+	keys := []OrderKey{{Var: "a"}, {Var: "b"}}
+	if !orderLess(g, tie1, tie2, keys) {
+		t.Error("first-key tie must fall through; bound second key sorts first")
+	}
+}

@@ -187,6 +187,14 @@ func (g *Graph) invalidateFrozen() {
 	g.snap.Store(nil)
 }
 
+// Generation returns the graph's mutation generation: a counter bumped by
+// every Add/Remove (Intern alone does not count — interning a term changes
+// no triple). It is the invalidation token for anything derived from the
+// triple set: the frozen snapshot records the generation it was built at
+// (Snapshot.Generation), and the answer cache keys entries by it, so a
+// mutation silently retires every cached result without any scan.
+func (g *Graph) Generation() uint64 { return g.gen.Load() }
+
 // Remove deletes the encoded triple, returning whether it was present.
 // Terms stay interned (IDs remain stable); adjacency, predicate counts and
 // class-instance lists are updated. Removal is O(degree).

@@ -102,6 +102,9 @@ func (s *System) AnswerContext(ctx context.Context, question string) (ans *Answe
 	// graph is unchanged, a rebuild (traced as "store.freeze") after
 	// maintenance mutated it, so questions always run on the CSR snapshot.
 	s.graph.FreezeCtx(ctx)
+	if s.cache != nil {
+		return s.answerCached(ctx, question)
+	}
 	res, err := s.core.AnswerContext(ctx, question)
 	if err != nil {
 		return nil, err
@@ -138,5 +141,8 @@ func (s *System) QueryContext(ctx context.Context, query string) (res *sparql.Re
 		return nil, err
 	}
 	s.graph.FreezeCtx(ctx)
+	if s.cache != nil {
+		return s.queryCached(ctx, query, q)
+	}
 	return sparql.EvalContext(ctx, s.graph, q, s.budget.limits())
 }
