@@ -3,13 +3,15 @@
 # served concurrently and the budget/degradation layer must stay
 # data-race free. fuzz-seeds replays the checked-in fuzz corpus seeds
 # (one deterministic pass, no fuzzing engine) so the parser regressions
-# they encode are part of the gate.
+# they encode are part of the gate. serve-sweep-smoke drives the real
+# admission-controlled HTTP server through a short overload sweep so the
+# 429/shedding path stays exercised end to end.
 
 GO ?= go
 
-.PHONY: tier1 vet build test race fuzz fuzz-seeds bench bench-store bench-cache serve-smoke
+.PHONY: tier1 vet build test race fuzz fuzz-seeds bench bench-store bench-cache bench-serve serve-smoke serve-sweep-smoke
 
-tier1: vet build race fuzz-seeds
+tier1: vet build race fuzz-seeds serve-sweep-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,11 +25,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# End-to-end serving smoke test: boot gqa-serve on a random port, answer
-# one question over HTTP, scrape /metrics, and assert the question
-# counter and per-stage histograms moved.
+# End-to-end serving smoke test: boot the gqa-serve handler on a random
+# port, answer one question over HTTP, scrape /metrics, and assert the
+# question counter and per-stage histograms moved. (The server lives in
+# internal/serve; cmd/gqa-serve is the thin binary over it.)
 serve-smoke:
-	$(GO) test -run TestServeSmoke -v ./cmd/gqa-serve
+	$(GO) test -run TestServeSmoke -v ./internal/serve
+
+# Short overload sweep (tier-1): a half-saturation baseline plus a 4x
+# overload level through the live admission-controlled listener. 500ms
+# windows keep the p99-ratio acceptance stable; no -json so the recorded
+# BENCH_serve.json artifact is not clobbered by the quick gate.
+serve-sweep-smoke:
+	$(GO) run ./cmd/gqa-bench -exp serve -serve-duration 500ms -serve-levels 0.5,4
 
 # Deterministic replay of the fuzz seed corpora (f.Add entries + any
 # checked-in testdata): runs each fuzz target as a plain test, no engine.
@@ -56,3 +66,10 @@ bench-store:
 # BENCH_cache.json (warm_speedup is the headline number).
 bench-cache:
 	$(GO) run ./cmd/gqa-bench -exp cache -json BENCH_cache.json
+
+# Serving overload benchmark: closed-loop saturation probe, then an
+# open-loop offered-load sweep (0.5/1/2/4× saturation) against the live
+# admission-controlled server, recorded in BENCH_serve.json (the
+# acceptance block — p99 ratio and shed counts — is the headline).
+bench-serve:
+	$(GO) run ./cmd/gqa-bench -exp serve -json BENCH_serve.json

@@ -104,15 +104,20 @@ func cloneResult(r *sparql.Result) *sparql.Result {
 	return cp
 }
 
-// answerCached is AnswerContext's cache-enabled path: look up, coalesce,
-// or run the pipeline and store. Callers have already applied the timeout
-// and frozen the graph.
-func (s *System) answerCached(ctx context.Context, question string) (*Answer, error) {
+// answerCached is AnswerShed's cache-enabled path: look up, coalesce, or
+// run the pipeline and store. Callers have already applied the timeout
+// and frozen the graph; eng carries any per-call shed budget. The shed
+// tier deliberately stays out of the cache key: a complete (non-degraded)
+// answer is identical at every tier — budgets only change results when
+// they truncate, and truncated results are never cached — so entries
+// written at tier 0 serve tier-3 callers and vice versa, which is exactly
+// what keeps an overloaded server fast.
+func (s *System) answerCached(ctx context.Context, question string, eng *core.System, tier int) (*Answer, error) {
 	key := s.cacheKey("a", normalizeQuestion(question))
 	sp := obs.TraceFrom(ctx).Root().Child("cache.lookup")
 	var leaderAns *Answer
 	v, outcome, err := s.cache.Do(ctx, key, func() (any, bool, error) {
-		res, err := s.core.AnswerContext(ctx, question)
+		res, err := eng.AnswerContext(ctx, question)
 		if err != nil {
 			return nil, false, err
 		}
@@ -137,8 +142,10 @@ func (s *System) answerCached(ctx context.Context, question string) (*Answer, er
 	}
 	if leaderAns != nil {
 		// This call ran the pipeline itself (miss or bypass); its answer
-		// was never shared, so it needs no copy.
-		return leaderAns, nil
+		// was never shared, so it needs no copy. The stored entry was
+		// cloned before annotation, so the shed marking below stays
+		// private to this caller.
+		return shedAnnotate(leaderAns, tier), nil
 	}
 	ent := v.(*cachedAnswer)
 	// Hit or coalesced: replay the match spans so Explain over a cached

@@ -65,6 +65,7 @@ func main() {
 		{"parallel", parallelExp, "seq-vs-par top-k matcher speedup"},
 		{"store", storeExp, "frozen CSR snapshot vs mutable adjacency store"},
 		{"cache", cacheExp, "answer cache: cold vs warm vs coalesced latency"},
+		{"serve", serveExp, "overload sweep: admission control, shedding, latency curve over a live listener"},
 		{"aggext", aggext, "aggregation extension (future work): Table 8/10 deltas"},
 		{"yago2", yago2, "the omitted YAGO2 evaluation (§6: reported for DBpedia only)"},
 	}

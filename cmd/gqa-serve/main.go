@@ -1,11 +1,16 @@
 // Command gqa-serve exposes the answering pipeline over HTTP: a small
-// serving front end with the observability surface wired in.
+// serving front end with the observability surface and overload
+// protection wired in. The server itself lives in internal/serve so the
+// load generator (gqa-bench -exp serve) and tests drive the same code.
 //
 // Usage:
 //
 //	gqa-serve [-addr host:port] [-graph graph.nt -dict dict.tsv]
 //	          [-aggregate] [-parallel N] [-timeout d]
 //	          [-cache N] [-max-question N]
+//	          [-max-inflight N] [-max-queue N]
+//	          [-client-qps QPS] [-client-burst N]
+//	          [-drain-timeout d]
 //
 // Without -graph/-dict it serves the bundled mini-DBpedia benchmark
 // knowledge base with a freshly mined paraphrase dictionary.
@@ -20,31 +25,41 @@
 //	GET /debug/trace/latest
 //	    The span tree of the most recently answered question, as JSON
 //	    ("null" before the first question).
+//	GET /healthz
+//	    Liveness: 200 while the process serves HTTP.
+//	GET /readyz
+//	    Readiness: 200 while admitting, 503 once draining for shutdown.
 //
-// Every request is traced (the trace feeds /debug/trace/latest); -timeout
-// bounds each question's wall-clock time, degrading to the best partial
-// answer found (the "degraded" field names the exhausted resource).
-// Answers are cached (-cache, generation-aware LRU with request
-// coalescing; 0 disables), question length is capped (-max-question), and
-// the server enforces read-header/idle timeouts so a slow client cannot
-// pin a connection open indefinitely.
+// Overload behaviour: at most -max-inflight questions run concurrently;
+// up to -max-queue more wait in a deadline-aware FIFO (requests that can
+// no longer finish inside their deadline are rejected early). Excess
+// load is shed with structured 429 responses carrying Retry-After, and
+// -client-qps bounds any single client (keyed by X-Client or remote
+// host) so one hot caller cannot starve the rest. Under queue pressure
+// the per-question budget shrinks in graded tiers (surfaced via the
+// X-Gqa-Shed-Tier header and the "degraded" field) instead of the server
+// tipping over.
+//
+// On SIGINT/SIGTERM the server stops admitting (429 "draining", /readyz
+// 503), lets in-flight questions finish for up to -drain-timeout, then
+// exits.
 package main
 
 import (
 	"context"
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
-	"sync/atomic"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gqa"
-	"gqa/internal/obs"
+	"gqa/internal/serve"
 )
 
 func main() {
@@ -56,6 +71,11 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "wall-clock budget per question (0 = unlimited)")
 	cacheSize := flag.Int("cache", 4096, "answer-cache capacity in entries (0 = disabled)")
 	maxQuestion := flag.Int("max-question", 1024, "maximum accepted question length in bytes")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent questions admitted to the pipeline (0 = 4×GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "questions allowed to wait for a pipeline slot (0 = 8×max-inflight)")
+	clientQPS := flag.Float64("client-qps", 0, "per-client sustained admission rate (0 = no per-client limit)")
+	clientBurst := flag.Float64("client-burst", 0, "per-client admission burst (0 = 2×client-qps)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "time to let in-flight questions finish on shutdown")
 	flag.Parse()
 
 	sys, err := buildSystem(*graphPath, *dictPath, *aggregate)
@@ -65,6 +85,15 @@ func main() {
 	}
 	sys.SetParallelism(*parallel)
 	sys.SetCache(*cacheSize)
+
+	handler := serve.New(sys, serve.Config{
+		Timeout:     *timeout,
+		MaxQuestion: *maxQuestion,
+		MaxInFlight: *maxInFlight,
+		MaxQueue:    *maxQueue,
+		ClientQPS:   *clientQPS,
+		ClientBurst: *clientBurst,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -76,12 +105,35 @@ func main() {
 	// ReadHeaderTimeout any client can hold a connection open forever by
 	// sending its headers one byte at a time (slowloris).
 	srv := &http.Server{
-		Handler:           newServer(sys, *timeout, *maxQuestion),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Fatal(srv.Serve(ln))
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	// Graceful shutdown: stop admitting on the first signal, drain
+	// in-flight questions under -drain-timeout, then close.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		log.Printf("gqa-serve: %s — draining (up to %s)", sig, *drainTimeout)
+		handler.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("gqa-serve: drain timeout exceeded, forcing close: %v", err)
+			srv.Close()
+		}
+		log.Printf("gqa-serve: drained, bye")
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
 }
 
 func buildSystem(graphPath, dictPath string, aggregate bool) (*gqa.System, error) {
@@ -113,103 +165,4 @@ func buildSystem(graphPath, dictPath string, aggregate bool) (*gqa.System, error
 		sys.SetAggregation(true)
 	}
 	return sys, nil
-}
-
-// server is the HTTP front end: the engine plus the last question's trace.
-type server struct {
-	sys         *gqa.System
-	timeout     time.Duration
-	maxQuestion int
-	latest      atomic.Pointer[obs.Trace]
-	mux         *http.ServeMux
-}
-
-func newServer(sys *gqa.System, timeout time.Duration, maxQuestion int) *server {
-	s := &server{sys: sys, timeout: timeout, maxQuestion: maxQuestion, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/answer", s.handleAnswer)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/debug/trace/latest", s.handleLatestTrace)
-	return s
-}
-
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
-// answerResponse is the JSON shape of /answer.
-type answerResponse struct {
-	Question string          `json:"question"`
-	Labels   []string        `json:"labels,omitempty"`
-	IRIs     []string        `json:"iris,omitempty"`
-	Boolean  *bool           `json:"boolean,omitempty"`
-	OK       bool            `json:"ok"`
-	Failure  string          `json:"failure,omitempty"`
-	Degraded string          `json:"degraded,omitempty"`
-	SPARQL   string          `json:"sparql,omitempty"`
-	TotalMs  float64         `json:"total_ms"`
-	Trace    json.RawMessage `json:"trace,omitempty"`
-}
-
-// jsonError writes a JSON error body so API clients never have to parse a
-// plain-text 400.
-func jsonError(w http.ResponseWriter, status int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck
-}
-
-func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		jsonError(w, http.StatusBadRequest, "missing q parameter")
-		return
-	}
-	if s.maxQuestion > 0 && len(q) > s.maxQuestion {
-		jsonError(w, http.StatusBadRequest,
-			fmt.Sprintf("question exceeds %d bytes", s.maxQuestion))
-		return
-	}
-	ctx := r.Context()
-	if s.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.timeout)
-		defer cancel()
-	}
-	ans, err := s.sys.AnswerTraced(ctx, q)
-	if err != nil {
-		jsonError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	s.latest.Store(ans.Trace)
-	resp := answerResponse{
-		Question: q,
-		Labels:   ans.Labels,
-		IRIs:     ans.IRIs,
-		Boolean:  ans.Boolean,
-		OK:       ans.OK,
-		Failure:  ans.Failure,
-		Degraded: ans.Degraded,
-		SPARQL:   ans.SPARQL,
-		TotalMs:  float64(ans.Total.Microseconds()) / 1000,
-	}
-	if r.URL.Query().Get("trace") == "1" {
-		resp.Trace = json.RawMessage(ans.Trace.JSON())
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(&resp); err != nil {
-		log.Printf("gqa-serve: writing /answer response: %v", err)
-	}
-}
-
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.sys.WriteMetrics(w); err != nil {
-		log.Printf("gqa-serve: writing /metrics response: %v", err)
-	}
-}
-
-func (s *server) handleLatestTrace(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	// Trace.JSON is nil-safe: before the first question this serves "null".
-	if _, err := io.WriteString(w, s.latest.Load().JSON()); err != nil {
-		log.Printf("gqa-serve: writing /debug/trace/latest response: %v", err)
-	}
 }

@@ -236,8 +236,17 @@ type Answer struct {
 	// context) ran out before the search completed: "deadline",
 	// "canceled", "steps", or "candidates". The answer then reflects the
 	// best partial top-k found in time — possibly empty — rather than the
-	// full search. Empty for a complete, trustworthy answer.
+	// full search. An answer produced under a load-shedding tier
+	// (AnswerShed) carries a "shed:tierN" prefix: alone when the search
+	// still completed, joined as "shed:tierN/steps" when the shrunken
+	// budget cut it short. Empty for a complete, trustworthy answer served
+	// at full budget.
 	Degraded string
+	// ShedTier is the load-shedding tier the pipeline ran at (see
+	// AnswerShed and Budget.Shed): 0 for full-budget service, 1–3 under
+	// graded overload. Cache hits report 0 — they cost no pipeline work,
+	// so no shedding applied.
+	ShedTier int
 	// Understanding and Total are the stage timings of Figure 6.
 	Understanding time.Duration
 	Total         time.Duration

@@ -21,6 +21,17 @@ func buildFixtureRegistry() *Registry {
 	c.Inc()
 	r.Counter("gqa_test_degraded_total", "Degraded answers by reason.", L("reason", "deadline")).Add(3)
 	r.Counter("gqa_test_degraded_total", "Degraded answers by reason.", L("reason", "steps")).Add(1)
+
+	// Closed label sets, admission-style: every series of the set is
+	// pre-registered before traffic (most still zero), the shape
+	// internal/admission relies on for a scrape-stable exposition.
+	for _, reason := range []string{"canceled", "client-rate", "deadline", "draining", "queue-full"} {
+		r.Counter("gqa_test_admission_rejected_total", "Rejections by reason.", L("reason", reason))
+	}
+	r.Counter("gqa_test_admission_rejected_total", "Rejections by reason.", L("reason", "queue-full")).Add(2)
+	for _, tier := range []string{"1", "2", "3"} {
+		r.Counter("gqa_test_admission_shed_total", "Shed admissions by tier.", L("tier", tier))
+	}
 	r.Counter("gqa_test_escape_total", `Help with a backslash \ and
 a newline.`, L("q", "say \"hi\"\\\nbye")).Inc()
 

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gqa"
+	"gqa/internal/faultpoint"
+)
+
+// TestOverloadShedsWith429 drives the real HTTP server past a tiny
+// admission gate (1 in-flight, 4 queued) with the matcher slowed by a
+// faultpoint, and asserts the overload contract end to end: excess
+// requests get 429 queue-full with a Retry-After header, and — the core
+// admission guarantee — rejected requests never ran the pipeline
+// (gqa_core_questions_total moved by exactly the number of 200s).
+func TestOverloadShedsWith429(t *testing.T) {
+	sys, err := gqa.BenchmarkSystem()
+	if err != nil {
+		t.Fatalf("building benchmark system: %v", err)
+	}
+	sys.SetCache(0) // every request must do real pipeline work
+	base, _ := startServerWith(t, sys, Config{
+		Timeout:     30 * time.Second,
+		MaxInFlight: 1,
+		MaxQueue:    4,
+	})
+
+	// Each question now takes >= 200ms, so all 12 concurrent requests
+	// arrive while the first still holds the only slot — the outcome split
+	// is deterministic, not a scheduling race.
+	faultpoint.Set(faultpoint.MatcherWorker, faultpoint.Fault{Delay: 200 * time.Millisecond})
+	defer faultpoint.Reset()
+
+	questionsBefore := metricValue(t, base, "gqa_core_questions_total")
+	waitedBefore := metricValue(t, base, "gqa_admission_queue_wait_seconds_count")
+
+	// 12 copies of a real question at once against capacity 1+4: at least
+	// 7 must be shed. With the cache (and thus coalescing) off, every
+	// admitted copy does full pipeline work, so the faultpoint delay bites.
+	const n = 12
+	type outcome struct {
+		status     int
+		retryAfter string
+		reason     string
+	}
+	outcomes := make([]outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(base + "/answer?q=" + url.QueryEscape("Who is the mayor of Berlin?"))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			o := outcome{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				var body struct {
+					Reason string `json:"reason"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+					t.Errorf("request %d: 429 body not JSON: %v", i, err)
+				}
+				o.reason = body.Reason
+			}
+			outcomes[i] = o
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, shed int
+	for i, o := range outcomes {
+		switch o.status {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+			if o.reason != "queue-full" {
+				t.Errorf("request %d: 429 reason = %q, want queue-full", i, o.reason)
+			}
+			if o.retryAfter == "" || o.retryAfter == "0" {
+				t.Errorf("request %d: 429 Retry-After = %q, want >= 1s", i, o.retryAfter)
+			}
+		default:
+			t.Errorf("request %d: status %d, want 200 or 429", i, o.status)
+		}
+	}
+	if shed < n-5 {
+		t.Errorf("shed %d of %d requests, want >= %d (capacity is 1 in-flight + 4 queued)",
+			shed, n, n-5)
+	}
+	if ok == 0 {
+		t.Error("no request was served at all under overload")
+	}
+
+	// The admission guarantee: a rejected request never consumed pipeline
+	// work, so the question counter moved by exactly the served count.
+	if after := metricValue(t, base, "gqa_core_questions_total"); after != questionsBefore+float64(ok) {
+		t.Errorf("gqa_core_questions_total moved by %v, want %d (one per 200, zero per 429)",
+			after-questionsBefore, ok)
+	}
+	// Admitted-but-queued requests flowed through the wait histogram.
+	if after := metricValue(t, base, "gqa_admission_queue_wait_seconds_count"); after <= waitedBefore {
+		t.Errorf("gqa_admission_queue_wait_seconds_count = %v, want > %v (requests queued)",
+			after, waitedBefore)
+	}
+}
+
+// TestHotClientShedFirst: with per-client limiting on, the client
+// hammering the server is rejected ("client-rate") while a quiet client
+// arriving at the same moment is served — fairness sheds the hot client
+// first, not whoever loses the queue race.
+func TestHotClientShedFirst(t *testing.T) {
+	base, _ := startServer(t, Config{
+		Timeout:   30 * time.Second,
+		ClientQPS: 0.5, // one token every 2s — the test never refills
+	})
+
+	doAs := func(client, q string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, base+"/answer?q="+url.QueryEscape(q), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Client", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET as %s: %v", client, err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Reason string `json:"reason"`
+		}
+		json.NewDecoder(resp.Body).Decode(&body) //nolint:errcheck
+		return resp.StatusCode, body.Reason
+	}
+
+	// Burst defaults to max(2×QPS,1) = 1 token: the hot client's first
+	// request is served, every following one is rate-shed.
+	if status, _ := doAs("hot", "Who is the mayor of Berlin?"); status != http.StatusOK {
+		t.Fatalf("hot client's first request: status %d, want 200", status)
+	}
+	sawRate := false
+	for i := 0; i < 3; i++ {
+		status, reason := doAs("hot", "Who is the mayor of Berlin?")
+		if status == http.StatusTooManyRequests {
+			sawRate = true
+			if reason != "client-rate" {
+				t.Errorf("hot client rejection reason = %q, want client-rate", reason)
+			}
+		}
+	}
+	if !sawRate {
+		t.Error("hot client was never rate-limited")
+	}
+
+	// The quiet client is untouched by the hot client's exhausted bucket.
+	if status, reason := doAs("cold", "Who is the mayor of Berlin?"); status != http.StatusOK {
+		t.Errorf("cold client: status %d (reason %q), want 200 — fairness must shed per client", status, reason)
+	}
+}
+
+// TestShedTierSurfacesInResponse: when the gate is saturated enough to
+// push pressure past 25%, admitted requests carry X-Gqa-Shed-Tier and the
+// response's degraded field gains the shed:tier prefix.
+func TestShedTierSurfacesInResponse(t *testing.T) {
+	sys, err := gqa.BenchmarkSystem()
+	if err != nil {
+		t.Fatalf("building benchmark system: %v", err)
+	}
+	sys.SetCache(0)
+	// Capacity 1+2: with one slow question holding the slot and the queue
+	// occupied, pressure for a queued grant is 2/3 or 3/3 → tier >= 2.
+	base, _ := startServerWith(t, sys, Config{
+		Timeout:     30 * time.Second,
+		MaxInFlight: 1,
+		MaxQueue:    2,
+	})
+
+	faultpoint.Set(faultpoint.MatcherWorker, faultpoint.Fault{Delay: 60 * time.Millisecond})
+	defer faultpoint.Reset()
+
+	const n = 3
+	type shedResp struct {
+		header   string
+		tier     int
+		degraded string
+	}
+	results := make([]shedResp, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(base + "/answer?q=" + url.QueryEscape("Who is the mayor of Berlin?"))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return // a rejection is fine; we only inspect served ones
+			}
+			var body struct {
+				ShedTier int    `json:"shed_tier"`
+				Degraded string `json:"degraded"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			results[i] = shedResp{
+				header:   resp.Header.Get("X-Gqa-Shed-Tier"),
+				tier:     body.ShedTier,
+				degraded: body.Degraded,
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	sawShed := false
+	for i, r := range results {
+		if r.tier > 0 {
+			sawShed = true
+			if r.header == "" {
+				t.Errorf("request %d: shed tier %d but no X-Gqa-Shed-Tier header", i, r.tier)
+			}
+			if !strings.HasPrefix(r.degraded, "shed:tier") {
+				t.Errorf("request %d: shed tier %d but degraded = %q, want shed:tier prefix",
+					i, r.tier, r.degraded)
+			}
+		}
+	}
+	if !sawShed {
+		t.Error("no served request carried a shed tier despite a saturated gate")
+	}
+}

@@ -51,6 +51,56 @@ func (b Budget) limits() budget.Limits {
 	}
 }
 
+// Shed-tier floors: the effective limits a tier-1 shed imposes on a field
+// the operator left unlimited, halved per further tier. Without floors an
+// unbudgeted system would be immune to shedding — the opposite of what an
+// overloaded server needs.
+const (
+	shedMaxTier        = 3 // matches admission.MaxTier
+	shedFloorTimeout   = 2 * time.Second
+	shedFloorSteps     = int64(1) << 20
+	shedFloorCandidate = int64(1) << 16
+	shedFloorRows      = int64(1) << 20
+)
+
+// Shed returns the budget at a shed tier: every finite limit is halved
+// per tier, and unlimited (zero) limits acquire a finite tier-1 floor so
+// shedding bites even on an unbudgeted system. Tier 0 (or less) is the
+// identity; tiers beyond 3 clamp to 3. The serving layer calls this with
+// the admission controller's pressure tier so an overloaded server
+// degrades answer quality in grades instead of tipping over.
+func (b Budget) Shed(tier int) Budget {
+	if tier <= 0 {
+		return b
+	}
+	if tier > shedMaxTier {
+		tier = shedMaxTier
+	}
+	return Budget{
+		Timeout:        shedDuration(b.Timeout, tier),
+		MaxSearchSteps: shedLimit(b.MaxSearchSteps, tier, shedFloorSteps),
+		MaxCandidates:  shedLimit(b.MaxCandidates, tier, shedFloorCandidate),
+		MaxSPARQLRows:  shedLimit(b.MaxSPARQLRows, tier, shedFloorRows),
+	}
+}
+
+// shedLimit halves a finite limit per tier (never below 1); an unlimited
+// limit starts from the tier-1 floor.
+func shedLimit(v int64, tier int, floor int64) int64 {
+	if v == 0 {
+		return max(floor>>(tier-1), 1)
+	}
+	return max(v>>tier, 1)
+}
+
+// shedDuration is shedLimit over wall-clock time (never below 1ms).
+func shedDuration(d time.Duration, tier int) time.Duration {
+	if d == 0 {
+		return max(shedFloorTimeout>>(tier-1), time.Millisecond)
+	}
+	return max(d>>tier, time.Millisecond)
+}
+
 // PipelineError is a panic from the answering pipeline converted into a
 // structured error: the input that triggered it, the stage it escaped
 // from, the panic value, and the stack. The engine never lets a
@@ -94,22 +144,66 @@ func (s *System) withTimeout(ctx context.Context) (context.Context, context.Canc
 // "candidates"); a panic anywhere in the pipeline surfaces as a
 // *PipelineError. With a Background context and a zero Budget the results
 // are identical to Answer's.
-func (s *System) AnswerContext(ctx context.Context, question string) (ans *Answer, err error) {
+func (s *System) AnswerContext(ctx context.Context, question string) (*Answer, error) {
+	return s.AnswerShed(ctx, question, 0)
+}
+
+// AnswerShed is AnswerContext under a load-shedding tier: the system's
+// Budget is shrunk by Budget.Shed(tier) for this call only, so a server
+// under pressure spends less per question instead of queueing unboundedly.
+// Tier 0 is exactly AnswerContext. A tier-shed answer that ran the
+// pipeline reports the tier in Answer.ShedTier and prefixes
+// Answer.Degraded with "shed:tierN" — but an answer whose search
+// completed within the shrunken budget is still the full, exact answer
+// (budgets only truncate when exhausted), so the cache layer stores it
+// under its normal key and serves it at any tier.
+func (s *System) AnswerShed(ctx context.Context, question string, tier int) (ans *Answer, err error) {
 	defer recoverPipeline("answer", question, &err)
-	ctx, cancel := s.withTimeout(ctx)
-	defer cancel()
+	eff, eng := s.budget, s.core
+	if tier > 0 {
+		eff = s.budget.Shed(tier)
+		// A per-call engine copy carries the shed limits; everything else
+		// (graph, dictionary, linker, superlatives) is shared and read-only.
+		shedEng := *s.core
+		shedEng.Opts.Budget = eff.limits()
+		eng = &shedEng
+	}
+	if eff.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, eff.Timeout)
+		defer cancel()
+	}
 	// Re-freeze at the current mutation generation: a pointer load when the
 	// graph is unchanged, a rebuild (traced as "store.freeze") after
 	// maintenance mutated it, so questions always run on the CSR snapshot.
 	s.graph.FreezeCtx(ctx)
 	if s.cache != nil {
-		return s.answerCached(ctx, question)
+		return s.answerCached(ctx, question, eng, tier)
 	}
-	res, err := s.core.AnswerContext(ctx, question)
+	res, err := eng.AnswerContext(ctx, question)
 	if err != nil {
 		return nil, err
 	}
-	return s.buildAnswer(res), nil
+	return shedAnnotate(s.buildAnswer(res), tier), nil
+}
+
+// shedAnnotate marks an answer that ran the pipeline under a shed budget:
+// ShedTier records the tier, and Degraded gains a "shed:tierN" prefix —
+// alone for a search that completed inside the shrunken budget, joined to
+// the exhaustion reason ("shed:tier2/steps") when the shed budget is what
+// cut the search short. Cache hits are never annotated: they cost no
+// pipeline work, so no shedding applied.
+func shedAnnotate(a *Answer, tier int) *Answer {
+	if tier <= 0 || a == nil {
+		return a
+	}
+	a.ShedTier = tier
+	if a.Degraded == "" {
+		a.Degraded = fmt.Sprintf("shed:tier%d", tier)
+	} else {
+		a.Degraded = fmt.Sprintf("shed:tier%d/%s", tier, a.Degraded)
+	}
+	return a
 }
 
 // AnswerTraced is AnswerContext with per-question tracing enabled: the
