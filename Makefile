@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race fuzz fuzz-seeds bench bench-store bench-cache bench-serve serve-smoke serve-sweep-smoke
+.PHONY: tier1 vet build test race fuzz fuzz-seeds bench bench-store bench-cache bench-serve bench-coldstart serve-smoke serve-sweep-smoke snapshot-smoke
 
-tier1: vet build race fuzz-seeds serve-sweep-smoke
+tier1: vet build race fuzz-seeds serve-sweep-smoke snapshot-smoke
 
 vet:
 	$(GO) vet ./...
@@ -39,16 +39,30 @@ serve-smoke:
 serve-sweep-smoke:
 	$(GO) run ./cmd/gqa-bench -exp serve -serve-duration 500ms -serve-levels 0.5,4
 
+# Snapshot round-trip smoke (tier-1): generate the KB in both snapshot
+# formats, boot gqa-cli from each, and require one known answer — so a
+# format or loader regression fails the gate end to end, not just in
+# unit tests.
+snapshot-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/gqa-gen snapshot -o "$$tmp/kb.snap" && \
+	$(GO) run ./cmd/gqa-gen frozen -o "$$tmp/kb.frz" && \
+	$(GO) run ./cmd/gqa-cli -snapshot "$$tmp/kb.snap" "Who is the mayor of Berlin?" | grep -q "Klaus Wowereit" && \
+	$(GO) run ./cmd/gqa-cli -frozen "$$tmp/kb.frz" "Who is the mayor of Berlin?" | grep -q "Klaus Wowereit" && \
+	echo "snapshot-smoke: both formats answered"
+
 # Deterministic replay of the fuzz seed corpora (f.Add entries + any
 # checked-in testdata): runs each fuzz target as a plain test, no engine.
 fuzz-seeds:
-	$(GO) test -run 'Fuzz' ./internal/rdf/ ./internal/sparql/ ./internal/nlp/
+	$(GO) test -run 'Fuzz' ./internal/rdf/ ./internal/sparql/ ./internal/nlp/ ./internal/store/
 
 # Short fuzz passes over the parser/evaluator targets (not part of tier1).
 fuzz:
 	$(GO) test -fuzz FuzzParseSPARQL -fuzztime 30s ./internal/sparql/
 	$(GO) test -fuzz FuzzEvalBudget -fuzztime 30s ./internal/sparql/
 	$(GO) test -fuzz FuzzParseNTriples -fuzztime 30s ./internal/rdf/
+	$(GO) test -fuzz FuzzLoadSnapshot -fuzztime 30s ./internal/store/
+	$(GO) test -fuzz FuzzLoadFrozen -fuzztime 30s ./internal/store/
 
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -73,3 +87,11 @@ bench-cache:
 # acceptance block — p99 ratio and shed counts — is the headline).
 bench-serve:
 	$(GO) run ./cmd/gqa-bench -exp serve -json BENCH_serve.json
+
+# Cold-start benchmark: time-to-servable for N-Triples parse+freeze vs
+# GQASNAP1 load+freeze vs GQAFRZ1 load, plus the small-graph constants as
+# Go benchmarks, recorded in BENCH_coldstart.json (the ≥5× frozen-vs-NT
+# floor over the serving-scale bench graphs is the headline).
+bench-coldstart:
+	$(GO) test -run XXX -bench 'BenchmarkLoadFrozenKB|BenchmarkSaveFrozenKB|BenchmarkLoadSnapshotKB' -benchmem -count 5 ./internal/store/
+	$(GO) run ./cmd/gqa-bench -exp coldstart -json BENCH_coldstart.json

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -64,6 +65,7 @@ func main() {
 		{"ablations", ablations, "design-choice ablations"},
 		{"parallel", parallelExp, "seq-vs-par top-k matcher speedup"},
 		{"store", storeExp, "frozen CSR snapshot vs mutable adjacency store"},
+		{"coldstart", coldstartExp, "boot-time comparison: N-Triples parse vs GQASNAP1 vs GQAFRZ1"},
 		{"cache", cacheExp, "answer cache: cold vs warm vs coalesced latency"},
 		{"serve", serveExp, "overload sweep: admission control, shedding, latency curve over a live listener"},
 		{"aggext", aggext, "aggregation extension (future work): Table 8/10 deltas"},
@@ -742,6 +744,144 @@ func storeExp() {
 	report.Freeze.Triples = sn.NumTriples()
 	report.Freeze.Terms = sn.NumTerms()
 
+	if *jsonPath != "" {
+		report.Metrics = obs.Default.Snapshot()
+		writeJSON(*jsonPath, report)
+	}
+}
+
+// --------------------------------------------------------------- coldstart
+
+// coldstartExp measures how long it takes to go from bytes on disk to a
+// servable (frozen) graph along the three boot paths: parsing N-Triples
+// and freezing, loading the GQASNAP1 interchange snapshot and freezing,
+// and loading the GQAFRZ1 frozen snapshot (which arrives frozen). Every
+// path is verified to produce the same frozen snapshot shape before
+// timing. With -json PATH the comparison is written as JSON (the
+// BENCH_coldstart.json artifact); frz_vs_nt_speedup is the headline.
+func coldstartExp() {
+	type pathRow struct {
+		Format  string  `json:"format"`
+		Bytes   int     `json:"bytes"`
+		NsPerOp int64   `json:"ns_per_op"`
+		Speedup float64 `json:"speedup_vs_ntriples"`
+	}
+	type dsRow struct {
+		Dataset        string    `json:"dataset"`
+		Triples        int       `json:"triples"`
+		Terms          int       `json:"terms"`
+		Paths          []pathRow `json:"paths"`
+		FrzVsNtSpeedup float64   `json:"frz_vs_nt_speedup"`
+	}
+	// Round-robin the three boot paths within each repetition (with a GC
+	// between samples) so a noisy stretch of CPU cannot penalize one path
+	// only; per-path best-of then clips what noise remains.
+	const reps = 9
+	bestOfAll := func(fns []func() *store.Graph) ([]int64, []*store.Graph) {
+		best := make([]time.Duration, len(fns))
+		graphs := make([]*store.Graph, len(fns))
+		for r := 0; r < reps; r++ {
+			for i, fn := range fns {
+				runtime.GC()
+				start := time.Now()
+				graphs[i] = fn()
+				if d := time.Since(start); best[i] == 0 || d < best[i] {
+					best[i] = d
+				}
+			}
+		}
+		ns := make([]int64, len(fns))
+		for i, d := range best {
+			ns[i] = d.Nanoseconds()
+		}
+		return ns, graphs
+	}
+
+	datasets := []struct {
+		name string
+		g    *store.Graph
+	}{
+		{"mini-DBpedia", must(bench.BuildKB())},
+		{"synthetic-5k", bench.NewSynthGraph(bench.SynthOptions{Seed: 7, Entities: 5000}).Graph},
+		{"synthetic-20k", bench.NewSynthGraph(bench.SynthOptions{Seed: 7, Entities: 20000}).Graph},
+	}
+
+	var rows []dsRow
+	minSpeedup := 0.0 // across the serving-scale synthetic datasets
+	fmt.Println("dataset        format    bytes      load→servable  speedup")
+	for _, ds := range datasets {
+		var nt, snap, frz bytes.Buffer
+		if err := gqa.SaveGraph(&nt, ds.g); err != nil {
+			must(0, err)
+		}
+		if err := ds.g.Snapshot(&snap); err != nil {
+			must(0, err)
+		}
+		if err := store.SaveFrozen(&frz, ds.g); err != nil {
+			must(0, err)
+		}
+		want := ds.g.Freeze()
+
+		ns, graphs := bestOfAll([]func() *store.Graph{
+			func() *store.Graph {
+				g := store.New()
+				if err := g.Load(bytes.NewReader(nt.Bytes())); err != nil {
+					must(0, err)
+				}
+				g.Freeze()
+				return g
+			},
+			func() *store.Graph {
+				g := must(store.LoadSnapshot(bytes.NewReader(snap.Bytes())))
+				g.Freeze()
+				return g
+			},
+			func() *store.Graph {
+				return must(store.LoadFrozen(bytes.NewReader(frz.Bytes())))
+			},
+		})
+		ntNs, snapNs, frzNs := ns[0], ns[1], ns[2]
+		for _, g := range graphs {
+			sn := g.Frozen()
+			if sn == nil || sn.NumTriples() != want.NumTriples() || sn.NumTerms() != want.NumTerms() {
+				must(0, fmt.Errorf("coldstart: %s boot path diverged from source graph", ds.name))
+			}
+		}
+
+		row := dsRow{Dataset: ds.name, Triples: want.NumTriples(), Terms: want.NumTerms()}
+		for _, p := range []pathRow{
+			{Format: "ntriples", Bytes: nt.Len(), NsPerOp: ntNs, Speedup: 1},
+			{Format: "gqasnap1", Bytes: snap.Len(), NsPerOp: snapNs, Speedup: float64(ntNs) / float64(snapNs)},
+			{Format: "gqafrz1", Bytes: frz.Len(), NsPerOp: frzNs, Speedup: float64(ntNs) / float64(frzNs)},
+		} {
+			row.Paths = append(row.Paths, p)
+			fmt.Printf("%-14s %-9s %-10d %-14s %6.1f×\n", ds.name, p.Format, p.Bytes,
+				time.Duration(p.NsPerOp).Round(time.Microsecond), p.Speedup)
+		}
+		row.FrzVsNtSpeedup = float64(ntNs) / float64(frzNs)
+		if ds.name != "mini-DBpedia" && (minSpeedup == 0 || row.FrzVsNtSpeedup < minSpeedup) {
+			minSpeedup = row.FrzVsNtSpeedup
+		}
+		rows = append(rows, row)
+	}
+	fmt.Printf("GQAFRZ1 vs N-Triples: ≥%.1f× faster to servable on the bench graphs\n", minSpeedup)
+	fmt.Println("(mini-DBpedia is 37KB — fixed per-load costs dominate; it boots in ~0.1ms either way)")
+
+	report := struct {
+		GOMAXPROCS int            `json:"gomaxprocs"`
+		NumCPU     int            `json:"num_cpu"`
+		Reps       int            `json:"best_of"`
+		Datasets   []dsRow        `json:"datasets"`
+		MinSpeedup float64        `json:"min_frz_vs_nt_speedup_bench_graphs"`
+		Accept5x   bool           `json:"frz_at_least_5x_faster_than_ntriples"`
+		Note       string         `json:"note"`
+		Metrics    map[string]any `json:"metrics"`
+	}{
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Reps: reps,
+		Datasets: rows, MinSpeedup: minSpeedup, Accept5x: minSpeedup >= 5,
+		Note: "speedup floor taken over the serving-scale synthetic bench graphs; " +
+			"the 37KB mini-DBpedia row is informational (fixed per-load costs dominate at that size)",
+	}
 	if *jsonPath != "" {
 		report.Metrics = obs.Default.Snapshot()
 		writeJSON(*jsonPath, report)

@@ -4,11 +4,18 @@
 // Usage:
 //
 //	gqa-cli [-graph graph.nt -dict dict.tsv] [-explain] [-trace] [-parallel N] [-cache N] [question ...]
+//	gqa-cli [-snapshot kb.snap | -frozen kb.frz] [-dict dict.tsv] [question ...]
 //
-// Without -graph/-dict it runs over the bundled mini-DBpedia benchmark
+// Without a graph source it runs over the bundled mini-DBpedia benchmark
 // knowledge base with a freshly mined paraphrase dictionary. Questions
 // given as arguments are answered and the program exits; otherwise a REPL
 // starts. Lines starting with "sparql " are evaluated as SPARQL instead.
+//
+// -snapshot loads a GQASNAP1 binary snapshot (gqa-gen snapshot); -frozen
+// loads a GQAFRZ1 frozen snapshot (gqa-gen frozen) straight into the
+// query-ready CSR form — the fastest cold start. With either, -dict is
+// optional: when omitted the paraphrase dictionary is mined from the
+// loaded graph.
 //
 // -timeout bounds each question's wall-clock time; when it expires the
 // engine returns the best partial answer found so far, flagged
@@ -31,10 +38,14 @@ import (
 	"time"
 
 	"gqa"
+	"gqa/internal/bench"
+	"gqa/internal/store"
 )
 
 func main() {
 	graphPath := flag.String("graph", "", "N-Triples graph file (default: bundled mini-DBpedia)")
+	snapPath := flag.String("snapshot", "", "GQASNAP1 binary snapshot to load instead of -graph")
+	frzPath := flag.String("frozen", "", "GQAFRZ1 frozen snapshot to load instead of -graph")
 	dictPath := flag.String("dict", "", "paraphrase dictionary file (gqa-mine output)")
 	explain := flag.Bool("explain", false, "show the top matches behind each answer")
 	trace := flag.Bool("trace", false, "print each question's span tree (stage timings and counters)")
@@ -44,7 +55,7 @@ func main() {
 	cacheSize := flag.Int("cache", 256, "answer-cache capacity in entries (0 = disabled); re-asking a question in the REPL hits the cache")
 	flag.Parse()
 
-	sys, err := buildSystem(*graphPath, *dictPath, *aggregate)
+	sys, err := buildSystem(*graphPath, *snapPath, *frzPath, *dictPath, *aggregate)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gqa-cli:", err)
 		os.Exit(1)
@@ -80,14 +91,26 @@ func main() {
 	}
 }
 
-func buildSystem(graphPath, dictPath string, aggregate bool) (*gqa.System, error) {
+func buildSystem(graphPath, snapPath, frzPath, dictPath string, aggregate bool) (*gqa.System, error) {
 	var (
 		sys *gqa.System
 		err error
 	)
-	if graphPath == "" {
+	sources := 0
+	for _, p := range []string{graphPath, snapPath, frzPath} {
+		if p != "" {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return nil, fmt.Errorf("-graph, -snapshot and -frozen are mutually exclusive")
+	}
+	switch {
+	case snapPath != "" || frzPath != "":
+		sys, err = loadSnapshotSystem(snapPath, frzPath, dictPath)
+	case graphPath == "":
 		sys, err = gqa.BenchmarkSystem()
-	} else {
+	default:
 		if dictPath == "" {
 			return nil, fmt.Errorf("-dict is required with -graph (mine one with gqa-mine)")
 		}
@@ -114,6 +137,43 @@ func buildSystem(graphPath, dictPath string, aggregate bool) (*gqa.System, error
 		sys.RegisterSuperlative("tallest", "http://dbpedia.org/ontology/height", true)
 	}
 	return sys, nil
+}
+
+// loadSnapshotSystem builds a system from a GQASNAP1 or GQAFRZ1 file.
+// Exactly one of snapPath/frzPath is non-empty. Without -dict the
+// paraphrase dictionary is mined from the loaded graph itself.
+func loadSnapshotSystem(snapPath, frzPath, dictPath string) (*gqa.System, error) {
+	path := snapPath
+	load := store.LoadSnapshot
+	if frzPath != "" {
+		path = frzPath
+		load = store.LoadFrozen
+	}
+	gf, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer gf.Close()
+	if dictPath != "" {
+		df, err := os.Open(dictPath)
+		if err != nil {
+			return nil, err
+		}
+		defer df.Close()
+		if frzPath != "" {
+			return gqa.LoadSystemFrozen(gf, df)
+		}
+		return gqa.LoadSystemSnapshot(gf, df)
+	}
+	g, err := load(gf)
+	if err != nil {
+		return nil, err
+	}
+	d, _, err := bench.BuildDictionary(g)
+	if err != nil {
+		return nil, err
+	}
+	return gqa.NewSystem(g, d, gqa.Options{}), nil
 }
 
 func withBudget(timeout time.Duration) (context.Context, context.CancelFunc) {

@@ -6,9 +6,14 @@
 //
 //	gqa-gen kb [-o kb.nt]                          # the curated mini-DBpedia
 //	gqa-gen snapshot [-o kb.snap]                  # same KB, binary snapshot
+//	gqa-gen frozen [-o kb.frz]                     # same KB, GQAFRZ1 frozen snapshot
 //	gqa-gen phrases [-o phrases.tsv]               # its phrase support file
-//	gqa-gen synth [-entities N] [-degree D] [-preds P] [-seed S] [-o g.nt]
+//	gqa-gen synth [-entities N] [-degree D] [-preds P] [-seed S] [-frozen] [-o g.nt]
 //	gqa-gen synthphrases [-phrases N] [-support M] [-goldfrac F] ...
+//
+// The frozen format serializes the query-ready CSR snapshot itself
+// (checksummed, validated on load), so gqa-serve and gqa-cli can boot from
+// it without re-parsing or re-indexing anything.
 package main
 
 import (
@@ -38,6 +43,7 @@ func main() {
 	phrases := fs.Int("phrases", 50, "synthetic phrase count")
 	support := fs.Int("support", 10, "support pairs per phrase")
 	goldfrac := fs.Float64("goldfrac", 1.0, "per-hop extraction quality")
+	frozen := fs.Bool("frozen", false, "emit a GQAFRZ1 frozen snapshot instead of N-Triples (synth)")
 	fs.Parse(os.Args[2:])
 
 	w := bufio.NewWriter(os.Stdout)
@@ -66,6 +72,14 @@ func main() {
 		if err := g.Snapshot(w); err != nil {
 			die(err)
 		}
+	case "frozen":
+		g, err := bench.BuildKB()
+		if err != nil {
+			die(err)
+		}
+		if err := store.SaveFrozen(w, g); err != nil {
+			die(err)
+		}
 	case "phrases":
 		g, err := bench.BuildKB()
 		if err != nil {
@@ -80,7 +94,13 @@ func main() {
 		sg := bench.NewSynthGraph(bench.SynthOptions{
 			Seed: *seed, Entities: *entities, AvgDegree: *degree, Predicates: *preds,
 		})
-		writeGraph(w, sg.Graph)
+		if *frozen {
+			if err := store.SaveFrozen(w, sg.Graph); err != nil {
+				die(err)
+			}
+		} else {
+			writeGraph(w, sg.Graph)
+		}
 	case "synthphrases":
 		sg := bench.NewSynthGraph(bench.SynthOptions{
 			Seed: *seed, Entities: *entities, AvgDegree: *degree, Predicates: *preds,
@@ -95,7 +115,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gqa-gen {kb|snapshot|phrases|synth|synthphrases} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: gqa-gen {kb|snapshot|frozen|phrases|synth|synthphrases} [flags]")
 	os.Exit(2)
 }
 

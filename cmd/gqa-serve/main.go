@@ -6,6 +6,7 @@
 // Usage:
 //
 //	gqa-serve [-addr host:port] [-graph graph.nt -dict dict.tsv]
+//	          [-snapshot path.frz]
 //	          [-aggregate] [-parallel N] [-timeout d]
 //	          [-cache N] [-max-question N]
 //	          [-max-inflight N] [-max-queue N]
@@ -14,6 +15,13 @@
 //
 // Without -graph/-dict it serves the bundled mini-DBpedia benchmark
 // knowledge base with a freshly mined paraphrase dictionary.
+//
+// -snapshot enables instant cold start: when the file exists and validates,
+// the graph boots from the GQAFRZ1 frozen snapshot (a bulk checksummed read
+// straight into the query-ready CSR arrays — no N-Triples parse, no
+// freeze). When it is missing or rejected, the graph is built the usual way
+// and the frozen snapshot is written back (atomically, via rename) so the
+// next restart is instant. Rolling restarts pay the parse cost once.
 //
 // Endpoints:
 //
@@ -59,13 +67,16 @@ import (
 	"time"
 
 	"gqa"
+	"gqa/internal/bench"
 	"gqa/internal/serve"
+	"gqa/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	graphPath := flag.String("graph", "", "N-Triples graph file (default: bundled mini-DBpedia)")
 	dictPath := flag.String("dict", "", "paraphrase dictionary file (gqa-mine output)")
+	snapPath := flag.String("snapshot", "", "GQAFRZ1 frozen snapshot: load on boot when valid, else rebuild and save here")
 	aggregate := flag.Bool("aggregate", false, "enable the counting/superlative extension")
 	parallel := flag.Int("parallel", 0, "matcher worker goroutines per question (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 5*time.Second, "wall-clock budget per question (0 = unlimited)")
@@ -78,7 +89,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "time to let in-flight questions finish on shutdown")
 	flag.Parse()
 
-	sys, err := buildSystem(*graphPath, *dictPath, *aggregate)
+	sys, err := buildSystem(*graphPath, *dictPath, *snapPath, *aggregate)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gqa-serve:", err)
 		os.Exit(1)
@@ -136,11 +147,27 @@ func main() {
 	}
 }
 
-func buildSystem(graphPath, dictPath string, aggregate bool) (*gqa.System, error) {
+func buildSystem(graphPath, dictPath, snapPath string, aggregate bool) (*gqa.System, error) {
 	var (
 		sys *gqa.System
 		err error
 	)
+	if snapPath != "" {
+		sys, err = loadFrozenSystem(snapPath, dictPath)
+		switch {
+		case err == nil:
+			if aggregate {
+				sys.SetAggregation(true)
+			}
+			return sys, nil
+		case os.IsNotExist(err):
+			log.Printf("gqa-serve: no frozen snapshot at %s yet, building from source", snapPath)
+		default:
+			// A corrupt or stale-format snapshot is not fatal: fall back to
+			// the source graph and overwrite it below.
+			log.Printf("gqa-serve: frozen snapshot rejected, rebuilding from source: %v", err)
+		}
+	}
 	if graphPath == "" {
 		sys, err = gqa.BenchmarkSystem()
 	} else {
@@ -161,8 +188,82 @@ func buildSystem(graphPath, dictPath string, aggregate bool) (*gqa.System, error
 	if err != nil {
 		return nil, err
 	}
+	if snapPath != "" {
+		saveFrozenSnapshot(snapPath, sys)
+	}
 	if aggregate {
 		sys.SetAggregation(true)
 	}
 	return sys, nil
+}
+
+// loadFrozenSystem boots from a GQAFRZ1 frozen snapshot: the graph arrives
+// query-ready (validated, frozen, at its saved generation). The dictionary
+// comes from -dict when given, otherwise it is mined from the loaded graph
+// (which must then be the bundled benchmark KB).
+func loadFrozenSystem(snapPath, dictPath string) (*gqa.System, error) {
+	sf, err := os.Open(snapPath)
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	start := time.Now()
+	var sys *gqa.System
+	if dictPath != "" {
+		df, err := os.Open(dictPath)
+		if err != nil {
+			return nil, err
+		}
+		defer df.Close()
+		sys, err = gqa.LoadSystemFrozen(sf, df)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		g, err := store.LoadFrozen(sf)
+		if err != nil {
+			return nil, err
+		}
+		d, _, err := bench.BuildDictionary(g)
+		if err != nil {
+			return nil, err
+		}
+		sys = gqa.NewSystem(g, d, gqa.Options{})
+	}
+	g := sys.Graph()
+	log.Printf("gqa-serve: cold start from frozen snapshot %s: %d triples, %d terms, generation %d, ready in %s",
+		snapPath, g.NumTriples(), g.NumTerms(), g.Generation(), time.Since(start).Round(time.Microsecond))
+	return sys, nil
+}
+
+// saveFrozenSnapshot persists the system's frozen snapshot atomically
+// (write to a temp file, then rename) so a crash mid-write can never leave
+// a torn file that the next boot would have to reject. Failures are logged,
+// not fatal: serving matters more than the cache for next time.
+func saveFrozenSnapshot(path string, sys *gqa.System) {
+	start := time.Now()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		log.Printf("gqa-serve: cannot write frozen snapshot: %v", err)
+		return
+	}
+	if err := gqa.SaveFrozenSnapshot(f, sys.Graph()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		log.Printf("gqa-serve: writing frozen snapshot: %v", err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		log.Printf("gqa-serve: closing frozen snapshot: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		log.Printf("gqa-serve: installing frozen snapshot: %v", err)
+		return
+	}
+	log.Printf("gqa-serve: saved frozen snapshot to %s in %s (next start is instant)",
+		path, time.Since(start).Round(time.Microsecond))
 }

@@ -352,3 +352,27 @@ func LoadSystemSnapshot(snapshot, dictionary io.Reader) (*System, error) {
 	}
 	return NewSystem(g, d, Options{}), nil
 }
+
+// SaveFrozenSnapshot writes the graph's frozen CSR snapshot in the GQAFRZ1
+// format (freezing first if needed). Unlike SaveSnapshot's interchange
+// format, the frozen format serializes the query-ready arrays themselves,
+// so loading it skips interning, sorting, and the freeze entirely — the
+// instant-cold-start path for gqa-serve.
+func SaveFrozenSnapshot(w io.Writer, g *store.Graph) error { return store.SaveFrozen(w, g) }
+
+// LoadSystemFrozen assembles a System from a GQAFRZ1 frozen snapshot and an
+// encoded dictionary. The returned system is immediately servable: the
+// snapshot arrives validated and pre-installed at its saved mutation
+// generation (so generation-keyed cache entries remain coherent), and the
+// first Freeze is a pointer load.
+func LoadSystemFrozen(frozen, dictionary io.Reader) (*System, error) {
+	g, err := store.LoadFrozen(frozen)
+	if err != nil {
+		return nil, fmt.Errorf("gqa: loading frozen snapshot: %w", err)
+	}
+	d, err := dict.Decode(dictionary, g)
+	if err != nil {
+		return nil, fmt.Errorf("gqa: loading dictionary: %w", err)
+	}
+	return NewSystem(g, d, Options{}), nil
+}

@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gqa"
+	"gqa/internal/bench"
+)
+
+// facadeFingerprint serializes everything a caller of the public facade can
+// observe about one answered question — outcome, labels, degradation, and
+// the rendered explain lines — so two boot paths can be compared
+// byte-for-byte.
+func facadeFingerprint(ans *gqa.Answer, lines []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ok=%v failure=%q degraded=%q", ans.OK, ans.Failure, ans.Degraded)
+	if ans.Boolean != nil {
+		fmt.Fprintf(&b, " bool=%v", *ans.Boolean)
+	}
+	fmt.Fprintf(&b, " labels=%q\n", ans.Labels)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestWorkloadColdStartDifferential pins the instant-cold-start contract at
+// the facade level, mirroring how gqa-serve actually uses the format: boot
+// from N-Triples the slow way, save the frozen snapshot from that very
+// graph, boot a second system from the snapshot, and require the two to be
+// indistinguishable — every workload question's answer and every rendered
+// Explain line byte-identical, and the loaded graph at the exact mutation
+// generation the snapshot was saved at, so generation-keyed cache entries
+// stay coherent across restarts. (The two systems must share one term-ID
+// assignment for byte identity to be meaningful: equal-scored answers
+// tie-break on internal IDs, and an N-Triples round trip of a differently
+// built graph permutes them.)
+func TestWorkloadColdStartDifferential(t *testing.T) {
+	g, err := bench.BuildKB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := bench.BuildDictionary(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nt, dictBuf bytes.Buffer
+	if err := gqa.SaveGraph(&nt, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Encode(&dictBuf, g); err != nil {
+		t.Fatal(err)
+	}
+	dictBytes := dictBuf.Bytes()
+
+	ntSys, err := gqa.LoadSystem(bytes.NewReader(nt.Bytes()), bytes.NewReader(dictBytes))
+	if err != nil {
+		t.Fatalf("LoadSystem: %v", err)
+	}
+	var frz bytes.Buffer
+	if err := gqa.SaveFrozenSnapshot(&frz, ntSys.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	frzSys, err := gqa.LoadSystemFrozen(bytes.NewReader(frz.Bytes()), bytes.NewReader(dictBytes))
+	if err != nil {
+		t.Fatalf("LoadSystemFrozen: %v", err)
+	}
+
+	if got, want := frzSys.Graph().Generation(), ntSys.Graph().Generation(); got != want {
+		t.Fatalf("frozen boot generation = %d, want the saved graph's %d", got, want)
+	}
+	if frzSys.Graph().Frozen() == nil {
+		t.Fatal("frozen boot did not install the snapshot (first Frozen() must be free)")
+	}
+
+	for _, q := range bench.Workload() {
+		ntAns, ntLines, err := ntSys.Explain(q.Text)
+		if err != nil {
+			t.Fatalf("%q via N-Triples: %v", q.Text, err)
+		}
+		frzAns, frzLines, err := frzSys.Explain(q.Text)
+		if err != nil {
+			t.Fatalf("%q via frozen snapshot: %v", q.Text, err)
+		}
+		got := facadeFingerprint(frzAns, frzLines)
+		want := facadeFingerprint(ntAns, ntLines)
+		if got != want {
+			t.Errorf("%q: frozen boot diverged from N-Triples boot:\n got: %s\nwant: %s", q.Text, got, want)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// Fuzz targets for the two on-disk formats. Both assert the hostile-input
+// contract: arbitrary bytes must produce either a loaded graph or an error
+// — never a panic — and allocation must stay proportional to the input, so
+// a lying length field cannot balloon memory. Accepted inputs must
+// round-trip: a graph that loads re-serializes and re-loads equivalently
+// (byte-identically for the canonical GQAFRZ1 format).
+
+// allocBound runs fn and fails the test if it allocated more than limit
+// bytes. TotalAlloc is process-global, so this is meaningful only because
+// fuzz executions run the body serially.
+func allocBound(t *testing.T, limit uint64, fn func()) {
+	t.Helper()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	if got := after.TotalAlloc - before.TotalAlloc; got > limit {
+		t.Fatalf("allocated %d bytes, bound %d", got, limit)
+	}
+}
+
+func snapshotSeedCorpus(tb testing.TB) [][]byte {
+	g := tinyFrozenGraph()
+	var buf bytes.Buffer
+	if err := g.Snapshot(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	valid := buf.Bytes()
+	oversized := append([]byte("GQASNAP1"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01)
+	badKind := append([]byte(nil), valid...)
+	badKind[9] = 0x7E // first term's kind byte
+	seeds := [][]byte{
+		valid,
+		valid[:len(valid)/2],
+		valid[:9],
+		[]byte("GQASNAP1"),
+		oversized,
+		badKind,
+		append(append([]byte(nil), valid...), 0xAB), // trailing garbage
+		{},
+	}
+	return seeds
+}
+
+func FuzzLoadSnapshot(f *testing.F) {
+	for _, s := range snapshotSeedCorpus(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g *Graph
+		var err error
+		allocBound(t, 1<<22+1024*uint64(len(data)), func() {
+			g, err = LoadSnapshot(bytes.NewReader(data))
+		})
+		if err != nil {
+			return
+		}
+		// Accepted input: the graph must re-serialize and re-load to the
+		// same shape and triple set (byte identity is not guaranteed —
+		// GQASNAP1 varints admit non-minimal encodings on input).
+		var buf bytes.Buffer
+		if err := g.Snapshot(&buf); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		g2, err := LoadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-load: %v", err)
+		}
+		if g2.NumTerms() != g.NumTerms() || g2.NumTriples() != g.NumTriples() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				g2.NumTerms(), g2.NumTriples(), g.NumTerms(), g.NumTriples())
+		}
+		g.Match(Any, Any, Any, func(spo Spo) bool {
+			if !g2.Has(spo.S, spo.P, spo.O) {
+				t.Fatalf("round trip lost triple %v", spo)
+			}
+			return true
+		})
+	})
+}
+
+func frozenSeedCorpus(tb testing.TB) [][]byte {
+	var buf bytes.Buffer
+	if err := SaveFrozen(&buf, tinyFrozenGraph()); err != nil {
+		tb.Fatal(err)
+	}
+	valid := buf.Bytes()
+	var rich bytes.Buffer
+	if err := SaveFrozen(&rich, randomRichGraph(rand.New(rand.NewSource(1)))); err != nil {
+		tb.Fatal(err)
+	}
+	var empty bytes.Buffer
+	if err := SaveFrozen(&empty, New()); err != nil {
+		tb.Fatal(err)
+	}
+	flip := append([]byte(nil), valid...)
+	flip[frzHeaderSize+3] ^= 0x10 // payload bit → section CRC mismatch
+	lie := append([]byte(nil), valid...)
+	d := frzHeaderFixed + frzOutEdges*frzDirEntrySize
+	binary.LittleEndian.PutUint64(lie[d:d+8], 1<<40) // length lie, header CRC re-fixed
+	binary.LittleEndian.PutUint32(lie[frzHeaderSize-4:frzHeaderSize], crc32.ChecksumIEEE(lie[:frzHeaderSize-4]))
+	consistent := append([]byte(nil), valid...)
+	lo, _ := frzSectionRange(consistent, frzSig)
+	consistent[lo] ^= 0x01 // derived-state corruption with all checksums re-fixed
+	refixFrozenChecksums(consistent)
+	return [][]byte{
+		valid,
+		rich.Bytes(),
+		empty.Bytes(),
+		valid[:frzHeaderSize],
+		valid[:len(valid)-1],
+		flip,
+		lie,
+		consistent,
+		[]byte(frozenMagic),
+		{},
+	}
+}
+
+func FuzzLoadFrozen(f *testing.F) {
+	for _, s := range frozenSeedCorpus(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g *Graph
+		var err error
+		allocBound(t, 1<<22+1024*uint64(len(data)), func() {
+			g, err = LoadFrozen(bytes.NewReader(data))
+		})
+		if err != nil {
+			return
+		}
+		if g.Frozen() == nil {
+			t.Fatal("accepted input did not install a snapshot")
+		}
+		// GQAFRZ1 is canonical: anything that loads re-serializes to the
+		// exact accepted bytes.
+		var buf bytes.Buffer
+		if err := SaveFrozen(&buf, g); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("accepted input is not canonical: %d bytes in, %d bytes out", len(data), buf.Len())
+		}
+	})
+}

@@ -22,18 +22,27 @@ import (
 
 var snapshotMagic = []byte("GQASNAP1")
 
-// Snapshot writes the graph in binary snapshot format.
+// Snapshot writes the graph in binary snapshot format. Every write error —
+// including a short write mid-stream, not just one surfacing at the final
+// flush — is returned, so a full disk cannot yield a truncated file with a
+// nil error.
 func (g *Graph) Snapshot(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic); err != nil {
-		return err
+		return fmt.Errorf("store: writing snapshot magic: %w", err)
 	}
-	writeUvarint(bw, uint64(len(g.terms)))
-	for _, t := range g.terms {
-		bw.WriteByte(byte(t.Kind()))
-		writeString(bw, t.Value())
-		writeString(bw, t.Datatype())
-		writeString(bw, t.Lang())
+	if err := writeUvarint(bw, uint64(len(g.terms))); err != nil {
+		return fmt.Errorf("store: writing snapshot term count: %w", err)
+	}
+	for i, t := range g.terms {
+		if err := bw.WriteByte(byte(t.Kind())); err != nil {
+			return fmt.Errorf("store: writing snapshot term %d: %w", i, err)
+		}
+		for _, s := range [3]string{t.Value(), t.Datatype(), t.Lang()} {
+			if err := writeString(bw, s); err != nil {
+				return fmt.Errorf("store: writing snapshot term %d: %w", i, err)
+			}
+		}
 	}
 	// Deterministic triple order.
 	triples := make([]Spo, 0, len(g.triples))
@@ -50,18 +59,29 @@ func (g *Graph) Snapshot(w io.Writer) error {
 		}
 		return a.O < b.O
 	})
-	writeUvarint(bw, uint64(len(triples)))
-	for _, t := range triples {
-		writeUvarint(bw, uint64(t.S))
-		writeUvarint(bw, uint64(t.P))
-		writeUvarint(bw, uint64(t.O))
+	if err := writeUvarint(bw, uint64(len(triples))); err != nil {
+		return fmt.Errorf("store: writing snapshot triple count: %w", err)
 	}
-	return bw.Flush()
+	for i, t := range triples {
+		for _, id := range [3]ID{t.S, t.P, t.O} {
+			if err := writeUvarint(bw, uint64(id)); err != nil {
+				return fmt.Errorf("store: writing snapshot triple %d: %w", i, err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("store: flushing snapshot: %w", err)
+	}
+	return nil
 }
 
-// LoadSnapshot reads a snapshot into a fresh graph.
+// LoadSnapshot reads a snapshot into a fresh graph. The stream must end
+// exactly after the last triple: trailing bytes (a concatenated or corrupt
+// file) are rejected with a positioned error instead of being silently
+// ignored.
 func LoadSnapshot(r io.Reader) (*Graph, error) {
-	br := bufio.NewReader(r)
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("store: reading snapshot magic: %w", err)
@@ -133,18 +153,29 @@ func LoadSnapshot(r io.Reader) (*Graph, error) {
 		}
 		g.AddSPO(ID(s), ID(p), ID(o))
 	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot: reading past final triple: %w", err)
+		}
+		off := cr.n - int64(br.Buffered()) - 1
+		return nil, fmt.Errorf("store: snapshot: trailing data at byte offset %d (after %d triples)", off, nTriples)
+	}
 	return g, nil
 }
 
-func writeUvarint(w *bufio.Writer, v uint64) {
+func writeUvarint(w *bufio.Writer, v uint64) error {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
-	w.Write(buf[:n])
+	_, err := w.Write(buf[:n])
+	return err
 }
 
-func writeString(w *bufio.Writer, s string) {
-	writeUvarint(w, uint64(len(s)))
-	w.WriteString(s)
+func writeString(w *bufio.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
 }
 
 func readString(br *bufio.Reader) (string, error) {
@@ -156,9 +187,18 @@ func readString(br *bufio.Reader) (string, error) {
 	if n > maxString {
 		return "", fmt.Errorf("implausible string length %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(br, buf); err != nil {
-		return "", err
+	// Grow geometrically instead of trusting the declared length: a lying
+	// length field on a short stream fails after at most one chunk beyond
+	// the bytes actually present.
+	const chunk = 1 << 16
+	buf := make([]byte, 0, min(n, chunk))
+	for uint64(len(buf)) < n {
+		step := min(n-uint64(len(buf)), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(br, buf[start:]); err != nil {
+			return "", err
+		}
 	}
 	return string(buf), nil
 }

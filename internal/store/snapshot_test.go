@@ -2,6 +2,8 @@ package store
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -105,6 +107,81 @@ func TestQuickSnapshotRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSnapshotTrailingGarbage: a stream with bytes after the final triple
+// (a concatenated or corrupt file) must be rejected with a positioned
+// error, not silently accepted up to the point the decoder felt done.
+func TestSnapshotTrailingGarbage(t *testing.T) {
+	g := New()
+	g.Add(rdf.T(rdf.Resource("A"), rdf.Ontology("p"), rdf.Resource("B")))
+	var buf bytes.Buffer
+	if err := g.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for _, tail := range [][]byte{{0x00}, {0xFF, 0xFF}, valid} {
+		data := append(append([]byte(nil), valid...), tail...)
+		_, err := LoadSnapshot(bytes.NewReader(data))
+		if err == nil {
+			t.Fatalf("snapshot with %d trailing bytes accepted", len(tail))
+		}
+		want := fmt.Sprintf("trailing data at byte offset %d", len(valid))
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not carry position %q", err, want)
+		}
+	}
+	// The pristine stream still loads.
+	if _, err := LoadSnapshot(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+}
+
+// failingWriter fails with a sticky error once n bytes have been accepted —
+// a full disk, in miniature.
+type failingWriter struct {
+	n    int
+	left int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errDiskFull
+	}
+	if len(p) <= w.left {
+		w.left -= len(p)
+		return len(p), nil
+	}
+	n := w.left
+	w.left = 0
+	return n, errDiskFull
+}
+
+// TestSnapshotWriteErrors: every write failure during serialization — at
+// the magic, mid-terms, mid-triples, or at the final flush — must surface
+// as an error, for both snapshot formats.
+func TestSnapshotWriteErrors(t *testing.T) {
+	g := randomRichGraph(rand.New(rand.NewSource(42)))
+	var full bytes.Buffer
+	if err := g.Snapshot(&full); err != nil {
+		t.Fatal(err)
+	}
+	var frz bytes.Buffer
+	if err := SaveFrozen(&frz, g); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 7, 64, full.Len() / 2, full.Len() - 1} {
+		if err := g.Snapshot(&failingWriter{left: cut}); !errors.Is(err, errDiskFull) {
+			t.Fatalf("Snapshot with writer failing after %d bytes: err = %v, want disk full", cut, err)
+		}
+	}
+	for _, cut := range []int{0, 1, frzHeaderSize - 1, frzHeaderSize + 10, frz.Len() - 1} {
+		if err := SaveFrozen(&failingWriter{left: cut}, g); !errors.Is(err, errDiskFull) {
+			t.Fatalf("SaveFrozen with writer failing after %d bytes: err = %v, want disk full", cut, err)
+		}
 	}
 }
 
