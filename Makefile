@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race fuzz fuzz-seeds bench bench-store bench-cache bench-serve bench-coldstart serve-smoke serve-sweep-smoke snapshot-smoke
+.PHONY: tier1 vet build test race fuzz fuzz-seeds bench bench-store bench-cache bench-serve bench-coldstart bench-obs serve-smoke serve-sweep-smoke snapshot-smoke flight-smoke
 
-tier1: vet build race fuzz-seeds serve-sweep-smoke snapshot-smoke
+tier1: vet build race fuzz-seeds serve-sweep-smoke snapshot-smoke flight-smoke
 
 vet:
 	$(GO) vet ./...
@@ -87,6 +87,19 @@ bench-cache:
 # acceptance block — p99 ratio and shed counts — is the headline).
 bench-serve:
 	$(GO) run ./cmd/gqa-bench -exp serve -json BENCH_serve.json
+
+# Flight-recorder smoke (tier-1): build the real gqa-serve binary, boot it
+# with -flight-log, ask one question over HTTP, and assert the wide event
+# lands in the JSONL log with the trace ID the response header carried.
+flight-smoke:
+	$(GO) test -run TestFlightSmokeBinary -v ./internal/serve
+
+# Flight-recorder overhead benchmark: the full traced pipeline with the
+# recorder on vs off (best-of interleaved reps), plus the benchmark-asserted
+# zero-allocation disabled path, recorded in BENCH_obs.json (the <=1.05
+# on/off ratio is the headline).
+bench-obs:
+	$(GO) run ./cmd/gqa-bench -exp obs -json BENCH_obs.json
 
 # Cold-start benchmark: time-to-servable for N-Triples parse+freeze vs
 # GQASNAP1 load+freeze vs GQAFRZ1 load, plus the small-graph constants as

@@ -68,6 +68,7 @@ func main() {
 		{"coldstart", coldstartExp, "boot-time comparison: N-Triples parse vs GQASNAP1 vs GQAFRZ1"},
 		{"cache", cacheExp, "answer cache: cold vs warm vs coalesced latency"},
 		{"serve", serveExp, "overload sweep: admission control, shedding, latency curve over a live listener"},
+		{"obs", obsExp, "flight-recorder overhead: wide events + tail sampling, on vs off"},
 		{"aggext", aggext, "aggregation extension (future work): Table 8/10 deltas"},
 		{"yago2", yago2, "the omitted YAGO2 evaluation (§6: reported for DBpedia only)"},
 	}

@@ -12,6 +12,8 @@
 //	          [-max-inflight N] [-max-queue N]
 //	          [-client-qps QPS] [-client-burst N]
 //	          [-drain-timeout d]
+//	          [-flight-log events.jsonl] [-flight-slowest K]
+//	          [-slo-ms N] [-pprof]
 //
 // Without -graph/-dict it serves the bundled mini-DBpedia benchmark
 // knowledge base with a freshly mined paraphrase dictionary.
@@ -33,10 +35,25 @@
 //	GET /debug/trace/latest
 //	    The span tree of the most recently answered question, as JSON
 //	    ("null" before the first question).
+//	GET /debug/flight/slowest
+//	    The flight recorder's retained tail: the K slowest successful
+//	    requests plus every error/shed/degraded one, as wide events.
+//	GET /debug/flight/trace/<id>
+//	    One retained request by its X-Gqa-Trace-Id: the wide event plus
+//	    the full span tree.
+//	GET /debug/flight/slo
+//	    Rolling p50/p95/p99 and multi-window burn rate against -slo-ms.
+//	GET /debug/pprof/ (with -pprof)
+//	    net/http/pprof profiles (heap, goroutine, CPU, …).
 //	GET /healthz
 //	    Liveness: 200 while the process serves HTTP.
 //	GET /readyz
 //	    Readiness: 200 while admitting, 503 once draining for shutdown.
+//
+// Every /answer response carries an X-Gqa-Trace-Id header; the flight
+// recorder logs the same ID on the request's wide event (-flight-log, one
+// JSON line per request, bounded rotation) so slow or degraded requests
+// can be pulled back out of /debug/flight/* after the fact.
 //
 // Overload behaviour: at most -max-inflight questions run concurrently;
 // up to -max-queue more wait in a deadline-aware FIFO (requests that can
@@ -59,6 +76,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -68,6 +86,7 @@ import (
 
 	"gqa"
 	"gqa/internal/bench"
+	"gqa/internal/flight"
 	"gqa/internal/serve"
 	"gqa/internal/store"
 )
@@ -87,6 +106,10 @@ func main() {
 	clientQPS := flag.Float64("client-qps", 0, "per-client sustained admission rate (0 = no per-client limit)")
 	clientBurst := flag.Float64("client-burst", 0, "per-client admission burst (0 = 2×client-qps)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "time to let in-flight questions finish on shutdown")
+	flightLog := flag.String("flight-log", "", "wide-event JSONL log file (empty = in-memory flight recorder only)")
+	flightSlowest := flag.Int("flight-slowest", 32, "slowest successful traces retained for /debug/flight/slowest")
+	sloMs := flag.Int("slo-ms", 250, "per-request latency objective in milliseconds (SLO tracker)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	sys, err := buildSystem(*graphPath, *dictPath, *snapPath, *aggregate)
@@ -97,6 +120,19 @@ func main() {
 	sys.SetParallelism(*parallel)
 	sys.SetCache(*cacheSize)
 
+	// The flight recorder is always on (bounded memory, zero steady-state
+	// cost when idle); -flight-log additionally persists the wide events.
+	recorder, err := flight.New(flight.Config{
+		Path:      *flightLog,
+		Slowest:   *flightSlowest,
+		Objective: time.Duration(*sloMs) * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gqa-serve:", err)
+		os.Exit(1)
+	}
+	defer recorder.Close()
+
 	handler := serve.New(sys, serve.Config{
 		Timeout:     *timeout,
 		MaxQuestion: *maxQuestion,
@@ -104,6 +140,9 @@ func main() {
 		MaxQueue:    *maxQueue,
 		ClientQPS:   *clientQPS,
 		ClientBurst: *clientBurst,
+		Flight:      recorder,
+		Pprof:       *pprofOn,
+		Logger:      slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
 
 	ln, err := net.Listen("tcp", *addr)

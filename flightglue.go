@@ -1,0 +1,61 @@
+package gqa
+
+// Flight-recorder glue: AnswerShed is the single funnel every question
+// passes through (Answer, AnswerContext, AnswerTraced, and the HTTP
+// serving path all route here), so this is where the one wide event per
+// answered question is emitted. The serving layer contributes what the
+// facade cannot know — client key and admission queue wait — via
+// flight.WithInfo on the context; everything else comes from the answer
+// and the request's trace.
+
+import (
+	"context"
+	"time"
+
+	"gqa/internal/flight"
+	"gqa/internal/obs"
+)
+
+// flightRecord emits the request's wide event and stamps the trace ID
+// onto the answer. With no recorder installed it only propagates an
+// existing trace ID — a zero-allocation no-op path, like disabled tracing.
+func (s *System) flightRecord(ctx context.Context, question string, ans *Answer, err error, tier int, start time.Time) {
+	tr := obs.TraceFrom(ctx)
+	if s.flight == nil {
+		if ans != nil {
+			ans.TraceID = tr.ID()
+		}
+		return
+	}
+	// Only what the worker cannot derive is gathered here; the question
+	// hash and cache outcome come from the trace on the worker goroutine.
+	info := flight.InfoFrom(ctx)
+	ev := flight.Event{
+		Time:        start,
+		Client:      info.Client,
+		QueueWaitUs: info.QueueWait.Microseconds(),
+		TotalUs:     time.Since(start).Microseconds(),
+		ShedTier:    tier,
+		Status:      "ok",
+	}
+	if ans != nil {
+		ev.Degraded = ans.Degraded
+		ev.Failure = ans.Failure
+		ev.Results = len(ans.Labels)
+		if ans.Boolean != nil && ev.Results == 0 {
+			ev.Results = 1
+		}
+	}
+	if err != nil {
+		ev.Status = "error"
+		ev.Err = err.Error()
+	}
+	if tr == nil {
+		// No trace means no input to hash on the worker side.
+		ev.QHash = flight.HashQuestion(question)
+	}
+	id := s.flight.Record(ev, tr)
+	if ans != nil {
+		ans.TraceID = id
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"gqa/internal/bench"
 	"gqa/internal/core"
 	"gqa/internal/dict"
+	"gqa/internal/flight"
 	"gqa/internal/obs"
 	"gqa/internal/qcache"
 	"gqa/internal/rdf"
@@ -75,6 +76,12 @@ type Options struct {
 	// engine. See the Caching section of the README for the key structure
 	// and invalidation contract.
 	Cache CacheConfig
+	// Flight is the flight recorder wide events are emitted to: one
+	// structured event per answered question, plus tail-sampled trace
+	// retention (see internal/flight and gqa-serve's /debug/flight/*
+	// endpoints). Nil disables recording at zero cost — the exact
+	// unrecorded code path, like a nil trace.
+	Flight *flight.Recorder
 }
 
 // CacheConfig sizes the answer cache (see Options.Cache and SetCache).
@@ -92,6 +99,7 @@ type System struct {
 	core   *core.System
 	budget Budget
 	cache  *qcache.Cache
+	flight *flight.Recorder
 	// cacheSalt invalidates cached answers on engine mutations the graph
 	// generation cannot see: dictionary replacement (MineDictionary) and
 	// superlative registration both change answers without touching a
@@ -117,6 +125,7 @@ func NewSystem(g *store.Graph, d *dict.Dictionary, opts Options) *System {
 		dict:   d,
 		budget: opts.Budget,
 		cache:  qcache.New(opts.Cache.Entries),
+		flight: opts.Flight,
 		core: core.NewSystem(g, d, core.Options{
 			TopK:                  opts.TopK,
 			MaxVertexCandidates:   opts.MaxCandidates,
@@ -140,6 +149,15 @@ func (s *System) SetParallelism(p int) { s.core.Opts.Parallelism = p }
 // The binaries use it to honor their -cache flag over systems built with
 // default options. Not safe to call concurrently with Answer.
 func (s *System) SetCache(entries int) { s.cache = qcache.New(entries) }
+
+// SetFlight installs (or, with nil, removes) the flight recorder wide
+// events are emitted to — the runtime form of Options.Flight. Not safe to
+// call concurrently with Answer.
+func (s *System) SetFlight(r *flight.Recorder) { s.flight = r }
+
+// Flight returns the installed flight recorder (nil when disabled); the
+// serving layer mounts its /debug/flight/* endpoints over it.
+func (s *System) Flight() *flight.Recorder { return s.flight }
 
 // RegisterSuperlative teaches the aggregation extension how to interpret a
 // superlative adjective: rank candidate answers by the numeric object of
@@ -198,12 +216,21 @@ func (s *System) MineDictionary(sets []dict.SupportSet, maxPathLen, topK int) {
 // counters, gauges, and histogram states, keyed by metric name with its
 // rendered label set. Metrics are process-wide (all Systems share one
 // registry, as all questions share one process).
-func (s *System) Metrics() map[string]any { return obs.Default.Snapshot() }
+func (s *System) Metrics() map[string]any {
+	s.cache.SyncGauge()
+	return obs.Default.Snapshot()
+}
 
 // WriteMetrics writes every pipeline metric in the Prometheus text
 // exposition format — the payload of gqa-serve's /metrics endpoint,
 // exposed here so any host process can mount its own scrape handler.
-func (s *System) WriteMetrics(w io.Writer) error { return obs.Default.WritePrometheus(w) }
+func (s *System) WriteMetrics(w io.Writer) error {
+	// Scrape-time refresh for gauges whose owner is replaceable (SetCache):
+	// the cache reports its own occupancy instead of tracking deltas that
+	// would outlive a swapped-out instance.
+	s.cache.SyncGauge()
+	return obs.Default.WritePrometheus(w)
+}
 
 // Graph exposes the underlying triple store (read-only use expected).
 func (s *System) Graph() *store.Graph { return s.graph }
@@ -256,6 +283,11 @@ type Answer struct {
 	// Nil on untraced calls: tracing is strictly opt-in and the disabled
 	// path costs nothing. Render it with Trace.Tree() or Trace.JSON().
 	Trace *obs.Trace
+	// TraceID is the request's correlation ID: the same value the serving
+	// layer returns in the X-Gqa-Trace-Id header, the flight recorder logs
+	// on the wide event, and /debug/flight/trace/<id> resolves. Empty when
+	// the call was neither traced nor flight-recorded.
+	TraceID string
 }
 
 // Answer runs the full online pipeline on a natural-language question.

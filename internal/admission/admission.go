@@ -87,6 +87,8 @@ var (
 		"Requests waiting for a pipeline slot.")
 	queueWaitSeconds = obs.DefaultHistogram("gqa_admission_queue_wait_seconds",
 		"Time admitted requests spent queued before receiving a slot.", nil)
+	clientsGauge = obs.DefaultGauge("gqa_admission_clients",
+		"Per-client token buckets currently tracked (LRU occupancy).")
 )
 
 func rejectedCounter(reason string) *obs.Counter {
@@ -199,6 +201,7 @@ func New(cfg Config) *Controller {
 type Ticket struct {
 	c        *Controller
 	tier     int
+	wait     time.Duration
 	start    time.Time
 	released bool
 	mu       sync.Mutex
@@ -207,6 +210,11 @@ type Ticket struct {
 // Tier is the shed tier the request was admitted at: 0 for normal
 // service, 1–MaxTier for graded budget shrinking under pressure.
 func (t *Ticket) Tier() int { return t.tier }
+
+// QueueWait is how long the request waited in the admission FIFO before
+// receiving its slot (zero on the fast path). The flight recorder carries
+// it on the request's wide event.
+func (t *Ticket) QueueWait() time.Duration { return t.wait }
 
 // Release frees the slot, records the observed service time (feeding the
 // deadline-aware drop's p50 estimate), and dispatches queued waiters.
@@ -258,7 +266,7 @@ func (c *Controller) Admit(ctx context.Context, client string) (*Ticket, error) 
 		inflightGauge.Set(int64(c.inflight))
 		tier := c.tierLocked()
 		c.mu.Unlock()
-		return c.granted(tier), nil
+		return c.granted(tier, 0), nil
 	}
 	// Queue, bounded.
 	if len(c.queue) >= c.cfg.MaxQueue {
@@ -288,8 +296,9 @@ func (c *Controller) Admit(ctx context.Context, client string) (*Ticket, error) 
 		if err != nil {
 			return nil, err
 		}
-		queueWaitSeconds.ObserveDuration(c.cfg.Now().Sub(w.enqueued))
-		return c.granted(w.tier), nil
+		wait := c.cfg.Now().Sub(w.enqueued)
+		queueWaitSeconds.ObserveDuration(wait)
+		return c.granted(w.tier, wait), nil
 	case <-ctx.Done():
 		c.mu.Lock()
 		if w.done {
@@ -350,12 +359,12 @@ func (c *Controller) QueueDepth() int {
 func (c *Controller) P50() time.Duration { return c.svc.p50() }
 
 // granted finalizes an admission: metrics plus the caller's ticket.
-func (c *Controller) granted(tier int) *Ticket {
+func (c *Controller) granted(tier int, wait time.Duration) *Ticket {
 	admittedTotal.Inc()
 	if ctr, ok := shedTotal[tier]; ok {
 		ctr.Inc()
 	}
-	return &Ticket{c: c, tier: tier, start: c.cfg.Now()}
+	return &Ticket{c: c, tier: tier, wait: wait, start: c.cfg.Now()}
 }
 
 // reject counts and builds a rejection.
@@ -464,6 +473,7 @@ func (c *Controller) takeTokenLocked(key string, now time.Time) (time.Duration, 
 		}
 		b = &clientBucket{key: key, tokens: c.cfg.ClientBurst, last: now}
 		c.clients[key] = c.lru.PushFront(b)
+		clientsGauge.Set(int64(c.lru.Len()))
 	} else {
 		b = el.Value.(*clientBucket)
 		if dt := now.Sub(b.last).Seconds(); dt > 0 {

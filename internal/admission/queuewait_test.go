@@ -1,0 +1,52 @@
+package admission
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gqa/internal/obs"
+)
+
+// TestTicketQueueWait: a fast-path grant reports zero queue wait; a grant
+// that had to queue behind a held slot reports how long it waited — the
+// number the flight recorder's wide events carry as queue_wait_us.
+func TestTicketQueueWait(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, MaxQueue: 4})
+	holder := admit(t, c, "")
+	if w := holder.QueueWait(); w != 0 {
+		t.Fatalf("fast-path QueueWait = %v, want 0", w)
+	}
+
+	got := make(chan time.Duration, 1)
+	go func() {
+		tk, err := c.Admit(context.Background(), "")
+		if err != nil {
+			t.Errorf("queued Admit: %v", err)
+			got <- 0
+			return
+		}
+		got <- tk.QueueWait()
+		tk.Release()
+	}()
+	waitFor(t, func() bool { return c.QueueDepth() == 1 })
+	time.Sleep(5 * time.Millisecond)
+	holder.Release()
+	if w := <-got; w < time.Millisecond {
+		t.Errorf("queued QueueWait = %v, want >= the ~5ms the slot was held", w)
+	}
+}
+
+// TestClientsGauge: gqa_admission_clients tracks the per-client LRU's
+// occupancy as distinct clients appear.
+func TestClientsGauge(t *testing.T) {
+	g := obs.DefaultGauge("gqa_admission_clients",
+		"Per-client token buckets currently tracked (LRU occupancy).")
+	c := New(Config{MaxInFlight: 8, ClientQPS: 100})
+	for _, client := range []string{"a", "b", "c"} {
+		admit(t, c, client).Release()
+	}
+	if got := g.Value(); got < 3 {
+		t.Errorf("gqa_admission_clients = %d after 3 distinct clients, want >= 3", got)
+	}
+}

@@ -102,6 +102,14 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	return r.register(m, func() metric { return &Gauge{m: m} }).(*Gauge)
 }
 
+// FloatGauge registers (or returns the existing) float-valued gauge under
+// name. It renders with TYPE gauge; use it for ratios and quantiles where
+// an integer gauge would lose everything after the decimal point.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	m := &metricMeta{name: name, help: help, kind: "gauge", labels: labels}
+	return r.register(m, func() metric { return &FloatGauge{m: m} }).(*FloatGauge)
+}
+
 // Histogram registers (or returns the existing) fixed-bucket histogram
 // under name. Buckets are upper bounds in ascending order; an implicit
 // +Inf bucket is always appended. Nil buckets mean TimeBuckets.
@@ -279,6 +287,32 @@ func (g *Gauge) writeSeries(b *strings.Builder) {
 
 func (g *Gauge) snapshotValue() any { return g.v.Load() }
 
+// -------------------------------------------------------------- float gauge
+
+// FloatGauge is an instantaneous float64 value (quantiles, burn rates).
+type FloatGauge struct {
+	m *metricMeta
+	v atomic.Uint64 // float64 bits
+}
+
+func (g *FloatGauge) meta() *metricMeta { return g.m }
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
+func (g *FloatGauge) writeSeries(b *strings.Builder) {
+	b.WriteString(g.m.name)
+	b.WriteString(renderLabels(g.m.labels, "", 0))
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(g.Value()))
+	b.WriteByte('\n')
+}
+
+func (g *FloatGauge) snapshotValue() any { return g.Value() }
+
 // ---------------------------------------------------------------- histogram
 
 // Histogram is a fixed-bucket distribution. Observe is a bucket scan plus
@@ -318,6 +352,76 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Counts returns a copy of the per-bucket (non-cumulative) observation
+// counts, the +Inf bucket last — the raw material for windowed quantiles
+// (snapshot now, subtract a snapshot from window-start, feed the delta to
+// QuantileFromCounts).
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Bounds returns the histogram's finite upper bounds (shared, do not
+// mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of everything observed so
+// far, interpolating linearly within the owning bucket. Observations that
+// landed in the +Inf bucket clamp to the largest finite bound — the
+// histogram cannot say more. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	return QuantileFromCounts(h.bounds, h.Counts(), q)
+}
+
+// QuantileFromCounts is Histogram.Quantile over an explicit bucket-count
+// vector (len(bounds)+1 entries, +Inf last): the shared implementation the
+// SLO tracker uses on windowed count deltas so rolling quantiles need no
+// second sampling structure.
+func QuantileFromCounts(bounds []float64, counts []int64, q float64) float64 {
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// rank is the (fractional) number of observations at or below the
+	// quantile point; walk the cumulative counts to its owning bucket.
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(bounds) {
+				// +Inf bucket: clamp to the largest finite bound.
+				return bounds[len(bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			hi := bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return bounds[len(bounds)-1]
+}
 
 func (h *Histogram) writeSeries(b *strings.Builder) {
 	cum := int64(0)

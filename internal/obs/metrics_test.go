@@ -39,6 +39,18 @@ a newline.`, L("q", "say \"hi\"\\\nbye")).Inc()
 	g.Set(7)
 	g.Add(-3)
 
+	// Occupancy gauges in the gqa_cache_entries / gqa_admission_clients
+	// shape: plain, unlabeled, refreshed by Set.
+	r.Gauge("gqa_test_cache_entries", "Cache entries currently stored.").Set(12)
+
+	// Float gauges, SLO-style: a closed label set of quantiles plus an
+	// unlabeled burn rate with a non-integral value.
+	for _, q := range []string{"0.5", "0.95", "0.99"} {
+		r.FloatGauge("gqa_test_latency_seconds", "Rolling latency quantiles.", L("quantile", q))
+	}
+	r.FloatGauge("gqa_test_latency_seconds", "Rolling latency quantiles.", L("quantile", "0.95")).Set(0.0625)
+	r.FloatGauge("gqa_test_burn_rate", "Error-budget burn rate.").Set(1.5)
+
 	h := r.Histogram("gqa_test_stage_seconds", "Stage latency.", []float64{0.001, 0.01, 0.1}, L("stage", "parse"))
 	for _, v := range []float64{0.0004, 0.002, 0.0025, 0.05, 3} {
 		h.Observe(v)

@@ -47,6 +47,12 @@ func DefaultGauge(name, help string, labels ...Label) *Gauge {
 	return Default.Gauge(name, help, labels...)
 }
 
+// DefaultFloatGauge registers (or returns the existing) float gauge on the
+// Default registry.
+func DefaultFloatGauge(name, help string, labels ...Label) *FloatGauge {
+	return Default.FloatGauge(name, help, labels...)
+}
+
 // DefaultHistogram registers (or returns the existing) histogram on the
 // Default registry.
 func DefaultHistogram(name, help string, buckets []float64, labels ...Label) *Histogram {

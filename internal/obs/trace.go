@@ -19,6 +19,7 @@ type Trace struct {
 	mu   sync.Mutex
 	name string
 	attr string // the traced input (the question / query text)
+	id   string // correlation ID (flight recorder / X-Gqa-Trace-Id)
 	root *Span
 }
 
@@ -68,6 +69,48 @@ func (t *Trace) Root() *Span {
 		return nil
 	}
 	return t.root
+}
+
+// SetID attaches a correlation ID to the trace (first non-empty wins).
+// The flight recorder and the serving layer use it to tie the span tree,
+// the wide event, and the X-Gqa-Trace-Id response header together.
+func (t *Trace) SetID(id string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.mu.Lock()
+	if t.id == "" {
+		t.id = id
+	}
+	t.mu.Unlock()
+}
+
+// ID returns the trace's correlation ID ("" when unset or nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
+}
+
+// Input returns the traced input text ("" on a nil trace).
+func (t *Trace) Input() string {
+	if t == nil {
+		return ""
+	}
+	return t.attr
+}
+
+// Duration returns the root span's duration (zero while unfinished or nil).
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root.duration()
 }
 
 // Finish ends the root span if it is still open.
@@ -203,10 +246,51 @@ func (t *Trace) JSON() string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var b strings.Builder
-	fmt.Fprintf(&b, `{"trace":%s,"input":%s,"span":`, strconv.Quote(t.name), strconv.Quote(t.attr))
+	fmt.Fprintf(&b, `{"trace":%s,"input":%s,`, strconv.Quote(t.name), strconv.Quote(t.attr))
+	if t.id != "" {
+		fmt.Fprintf(&b, `"id":%s,`, strconv.Quote(t.id))
+	}
+	b.WriteString(`"span":`)
 	t.root.writeJSON(&b)
 	b.WriteByte('}')
 	return b.String()
+}
+
+// StageDur is one top-level pipeline stage's aggregated duration, as
+// extracted from a trace by Stages.
+type StageDur struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Stages aggregates the durations of the root span's direct children by
+// name, in first-seen order — the per-stage breakdown a wide event
+// carries. Children of children (matcher rounds, cache-replayed match
+// spans) are not walked: only top-level stages, so callers that drop
+// wrapper spans (cache.lookup covers the whole pipeline) can make the
+// remainder sum to within the root duration. Returns nil on a nil trace.
+func (t *Trace) Stages() []StageDur {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []StageDur
+	for _, c := range t.root.children {
+		d := c.duration()
+		found := false
+		for i := range out {
+			if out[i].Name == c.name {
+				out[i].Dur += d
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, StageDur{Name: c.name, Dur: d})
+		}
+	}
+	return out
 }
 
 func (s *Span) writeJSON(b *strings.Builder) {

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceID: first non-empty ID wins, empty/nil are no-ops, and the ID
+// appears in the JSON rendering.
+func TestTraceID(t *testing.T) {
+	tr := NewTrace("answer", "q")
+	if tr.ID() != "" {
+		t.Fatalf("fresh trace ID = %q, want empty", tr.ID())
+	}
+	tr.SetID("")
+	tr.SetID("abc123")
+	tr.SetID("later") // first non-empty wins
+	if tr.ID() != "abc123" {
+		t.Fatalf("ID = %q, want abc123", tr.ID())
+	}
+	tr.Finish()
+	if !strings.Contains(tr.JSON(), `"id":"abc123"`) {
+		t.Fatalf("JSON missing id field:\n%s", tr.JSON())
+	}
+
+	var nilTr *Trace
+	nilTr.SetID("x") // must not panic
+	if nilTr.ID() != "" {
+		t.Fatal("nil trace returned a non-empty ID")
+	}
+}
+
+// TestTraceStages: Stages aggregates the root's direct children by name in
+// first-seen order; grandchildren are folded into their parent stage, and
+// repeated stage names accumulate.
+func TestTraceStages(t *testing.T) {
+	tr := NewTrace("answer", "q")
+	root := tr.Root()
+
+	p := root.Child("nlp.parse")
+	time.Sleep(2 * time.Millisecond)
+	p.Finish()
+
+	m := root.Child("core.match")
+	r0 := m.Child("round") // grandchild: not its own stage
+	time.Sleep(time.Millisecond)
+	r0.Finish()
+	m.Finish()
+
+	m2 := root.Child("core.match") // same name: accumulates
+	time.Sleep(time.Millisecond)
+	m2.Finish()
+
+	tr.Finish()
+
+	stages := tr.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("got %d stages %v, want 2", len(stages), stages)
+	}
+	if stages[0].Name != "nlp.parse" || stages[1].Name != "core.match" {
+		t.Fatalf("stage order = [%s %s], want [nlp.parse core.match]", stages[0].Name, stages[1].Name)
+	}
+	var sum time.Duration
+	for _, s := range stages {
+		if s.Dur <= 0 {
+			t.Fatalf("stage %s duration = %v, want > 0", s.Name, s.Dur)
+		}
+		sum += s.Dur
+	}
+	// Direct children are sequential here, so their sum must fit inside the
+	// root span — the invariant /debug/flight/trace relies on.
+	if root := tr.Duration(); sum > root {
+		t.Fatalf("stage sum %v exceeds root duration %v", sum, root)
+	}
+
+	var nilTr *Trace
+	if got := nilTr.Stages(); got != nil {
+		t.Fatalf("nil trace Stages = %v, want nil", got)
+	}
+}
+
+// TestTraceDuration: zero while unfinished, positive and stable after
+// Finish (which is idempotent).
+func TestTraceDuration(t *testing.T) {
+	tr := NewTrace("answer", "q")
+	if tr.Duration() != 0 {
+		t.Fatalf("unfinished duration = %v, want 0", tr.Duration())
+	}
+	time.Sleep(time.Millisecond)
+	tr.Finish()
+	d := tr.Duration()
+	if d <= 0 {
+		t.Fatalf("finished duration = %v, want > 0", d)
+	}
+	tr.Finish() // idempotent: must not extend the root span
+	if tr.Duration() != d {
+		t.Fatalf("second Finish changed duration: %v -> %v", d, tr.Duration())
+	}
+}

@@ -1,0 +1,35 @@
+package qcache
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gqa/internal/obs"
+)
+
+// TestEntriesGauge: SyncGauge publishes the live entry count to
+// gqa_cache_entries, and a nil cache (caching disabled) publishes zero
+// instead of panicking — the facade calls SyncGauge on every scrape.
+func TestEntriesGauge(t *testing.T) {
+	g := obs.DefaultGauge("gqa_cache_entries",
+		"Answer-cache entries currently stored (refreshed on scrape).")
+	c := New(8)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, _, err := c.Do(ctx, k, func() (any, bool, error) { return k, true, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SyncGauge()
+	if got := g.Value(); got != 3 {
+		t.Errorf("gqa_cache_entries = %d after 3 stores, want 3", got)
+	}
+
+	var nilCache *Cache
+	nilCache.SyncGauge()
+	if got := g.Value(); got != 0 {
+		t.Errorf("gqa_cache_entries = %d after nil SyncGauge, want 0", got)
+	}
+}

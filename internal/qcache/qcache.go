@@ -45,6 +45,8 @@ var (
 		"Answer-cache entries evicted by the LRU capacity bound.")
 	coalescedTotal = obs.DefaultCounter("gqa_cache_coalesced_total",
 		"Lookups that shared an in-flight leader's result instead of recomputing.")
+	entriesGauge = obs.DefaultGauge("gqa_cache_entries",
+		"Answer-cache entries currently stored (refreshed on scrape).")
 )
 
 // Outcome reports how one Do call was served.
@@ -131,6 +133,14 @@ func (c *Cache) Len() int {
 		c.shards[i].mu.Unlock()
 	}
 	return n
+}
+
+// SyncGauge publishes the cache's current entry count to the
+// gqa_cache_entries gauge. Caches are replaceable (SetCache swaps them at
+// runtime), so the owner refreshes the gauge at scrape time instead of the
+// cache tracking deltas that would outlive it; a nil cache publishes 0.
+func (c *Cache) SyncGauge() {
+	entriesGauge.Set(int64(c.Len()))
 }
 
 // shard maps a key to its shard by FNV-1a.

@@ -29,15 +29,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"gqa"
 	"gqa/internal/admission"
+	"gqa/internal/flight"
 	"gqa/internal/obs"
 )
 
@@ -58,6 +61,18 @@ type Config struct {
 	// X-Client header when present, else the remote host.
 	ClientQPS   float64
 	ClientBurst float64
+	// Flight is the flight recorder behind /debug/flight/*. New installs
+	// it on the system too (gqa.System.SetFlight) so answered questions
+	// emit wide events; rejected requests are recorded here directly.
+	// Nil leaves recording off and the endpoints 404.
+	Flight *flight.Recorder
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off by
+	// default: profiles expose memory contents and cost CPU to capture.
+	Pprof bool
+	// Logger receives the server's structured logs (client disconnects,
+	// write failures), each carrying the request's trace ID. Nil means
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 // Server is the HTTP front end: the engine, the admission controller, and
@@ -66,12 +81,15 @@ type Server struct {
 	sys      *gqa.System
 	cfg      Config
 	adm      *admission.Controller
+	log      *slog.Logger
 	latest   atomic.Pointer[obs.Trace]
 	draining atomic.Bool
 	mux      *http.ServeMux
 }
 
-// New builds a Server over an assembled engine.
+// New builds a Server over an assembled engine. When cfg.Flight is set it
+// is installed on the system as well, so the facade emits one wide event
+// per answered question and the /debug/flight/* endpoints read them back.
 func New(sys *gqa.System, cfg Config) *Server {
 	s := &Server{
 		sys: sys,
@@ -82,13 +100,33 @@ func New(sys *gqa.System, cfg Config) *Server {
 			ClientQPS:   cfg.ClientQPS,
 			ClientBurst: cfg.ClientBurst,
 		}),
+		log: cfg.Logger,
 		mux: http.NewServeMux(),
+	}
+	if s.log == nil {
+		s.log = slog.Default()
+	}
+	if cfg.Flight != nil {
+		sys.SetFlight(cfg.Flight)
 	}
 	s.mux.HandleFunc("/answer", s.get(s.handleAnswer))
 	s.mux.HandleFunc("/metrics", s.get(s.handleMetrics))
 	s.mux.HandleFunc("/debug/trace/latest", s.get(s.handleLatestTrace))
+	s.mux.HandleFunc("/debug/flight/slowest", s.get(s.handleFlightSlowest))
+	s.mux.HandleFunc("/debug/flight/slo", s.get(s.handleFlightSLO))
+	s.mux.HandleFunc("/debug/flight/trace/", s.get(s.handleFlightTrace))
 	s.mux.HandleFunc("/healthz", s.get(s.handleHealthz))
 	s.mux.HandleFunc("/readyz", s.get(s.handleReadyz))
+	if cfg.Pprof {
+		// Explicit registrations on our own mux — importing net/http/pprof
+		// for its DefaultServeMux side effect would expose profiles even
+		// with the flag off.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -133,6 +171,7 @@ type answerResponse struct {
 	ShedTier int             `json:"shed_tier,omitempty"`
 	SPARQL   string          `json:"sparql,omitempty"`
 	TotalMs  float64         `json:"total_ms"`
+	TraceID  string          `json:"trace_id,omitempty"`
 	Trace    json.RawMessage `json:"trace,omitempty"`
 }
 
@@ -181,6 +220,7 @@ func clientKey(r *http.Request) string {
 }
 
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		jsonError(w, http.StatusBadRequest, "missing q parameter")
@@ -191,6 +231,12 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("question exceeds %d bytes", s.cfg.MaxQuestion))
 		return
 	}
+	// The trace ID is assigned before anything can go wrong, so even a
+	// shed request is correlatable: header, wide event, and trace store
+	// all carry the same ID.
+	id := flight.NewID()
+	w.Header().Set("X-Gqa-Trace-Id", id)
+	client := clientKey(r)
 	ctx := r.Context()
 	if s.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -199,10 +245,11 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Admission: a rejected request never consumes a pipeline slot.
-	ticket, err := s.adm.Admit(ctx, clientKey(r))
+	ticket, err := s.adm.Admit(ctx, client)
 	if err != nil {
 		var rej *admission.RejectError
 		if errors.As(err, &rej) {
+			s.recordReject(id, q, client, rej, start)
 			writeReject(w, rej)
 			return
 		}
@@ -216,12 +263,14 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	}
 
 	tr := obs.NewTrace("answer", q)
+	tr.SetID(id)
+	ctx = flight.WithInfo(ctx, flight.Info{Client: client, QueueWait: ticket.QueueWait()})
 	ans, err := s.sys.AnswerShed(obs.WithTrace(ctx, tr), q, tier)
 	tr.Finish()
 	if err != nil {
 		status := statusFor(ctx, err)
 		if status == statusNoWrite {
-			log.Printf("gqa-serve: client gone for %q: %v", q, err)
+			s.log.Warn("client gone", "trace_id", id, "question", q, "err", err)
 			return
 		}
 		jsonError(w, status, err.Error())
@@ -240,14 +289,36 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		ShedTier: ans.ShedTier,
 		SPARQL:   ans.SPARQL,
 		TotalMs:  float64(ans.Total.Microseconds()) / 1000,
+		TraceID:  ans.TraceID,
 	}
 	if r.URL.Query().Get("trace") == "1" {
 		resp.Trace = json.RawMessage(ans.Trace.JSON())
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(&resp); err != nil {
-		log.Printf("gqa-serve: writing /answer response: %v", err)
+		s.log.Warn("writing /answer response", "trace_id", id, "err", err)
 	}
+}
+
+// recordReject emits the wide event for a request refused at admission —
+// the facade never saw it, so the serving layer records it directly. A
+// minimal finished trace makes the rejection resolvable by its ID at
+// /debug/flight/trace/<id> like any other retained request.
+func (s *Server) recordReject(id, q, client string, rej *admission.RejectError, start time.Time) {
+	if s.cfg.Flight == nil {
+		return
+	}
+	tr := obs.NewTrace("answer", q)
+	tr.SetID(id)
+	tr.Root().SetStr("rejected", rej.Reason)
+	tr.Finish()
+	s.cfg.Flight.Record(flight.Event{
+		TraceID: id,
+		Client:  client,
+		QHash:   flight.HashQuestion(q),
+		Status:  "rejected:" + rej.Reason,
+		TotalUs: time.Since(start).Microseconds(),
+	}, tr)
 }
 
 // statusNoWrite marks "do not write a response": the client disconnected,
@@ -275,7 +346,7 @@ func statusFor(ctx context.Context, err error) int {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.sys.WriteMetrics(w); err != nil {
-		log.Printf("gqa-serve: writing /metrics response: %v", err)
+		s.log.Warn("writing /metrics response", "err", err)
 	}
 }
 
@@ -283,8 +354,47 @@ func (s *Server) handleLatestTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	// Trace.JSON is nil-safe: before the first question this serves "null".
 	if _, err := io.WriteString(w, s.latest.Load().JSON()); err != nil {
-		log.Printf("gqa-serve: writing /debug/trace/latest response: %v", err)
+		s.log.Warn("writing /debug/trace/latest response", "err", err)
 	}
+}
+
+// handleFlightSlowest serves the retained tail: the K slowest successful
+// requests plus every kept error/shed/degraded one, latency-descending.
+func (s *Server) handleFlightSlowest(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Flight == nil {
+		jsonError(w, http.StatusNotFound, "flight recorder disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.cfg.Flight.SlowestJSON()) //nolint:errcheck
+}
+
+// handleFlightTrace resolves one retained request by trace ID:
+// /debug/flight/trace/<id> → {"event": …, "trace": …}.
+func (s *Server) handleFlightTrace(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Flight == nil {
+		jsonError(w, http.StatusNotFound, "flight recorder disabled")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/flight/trace/")
+	out, ok := s.cfg.Flight.TraceJSON(id)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "trace not retained (evicted or never recorded)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out) //nolint:errcheck
+}
+
+// handleFlightSLO serves the SLO tracker's live status: rolling
+// quantiles and multi-window burn rate against the latency objective.
+func (s *Server) handleFlightSLO(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Flight == nil {
+		jsonError(w, http.StatusNotFound, "flight recorder disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.cfg.Flight.SLOJSON()) //nolint:errcheck
 }
 
 // handleHealthz is pure liveness: the process is up and serving HTTP.

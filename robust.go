@@ -159,6 +159,7 @@ func (s *System) AnswerContext(ctx context.Context, question string) (*Answer, e
 // under its normal key and serves it at any tier.
 func (s *System) AnswerShed(ctx context.Context, question string, tier int) (ans *Answer, err error) {
 	defer recoverPipeline("answer", question, &err)
+	start := time.Now()
 	eff, eng := s.budget, s.core
 	if tier > 0 {
 		eff = s.budget.Shed(tier)
@@ -178,13 +179,17 @@ func (s *System) AnswerShed(ctx context.Context, question string, tier int) (ans
 	// maintenance mutated it, so questions always run on the CSR snapshot.
 	s.graph.FreezeCtx(ctx)
 	if s.cache != nil {
-		return s.answerCached(ctx, question, eng, tier)
+		ans, err = s.answerCached(ctx, question, eng, tier)
+	} else {
+		res, rerr := eng.AnswerContext(ctx, question)
+		if rerr != nil {
+			err = rerr
+		} else {
+			ans = shedAnnotate(s.buildAnswer(res), tier)
+		}
 	}
-	res, err := eng.AnswerContext(ctx, question)
-	if err != nil {
-		return nil, err
-	}
-	return shedAnnotate(s.buildAnswer(res), tier), nil
+	s.flightRecord(ctx, question, ans, err, tier, start)
+	return ans, err
 }
 
 // shedAnnotate marks an answer that ran the pipeline under a shed budget:
