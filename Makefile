@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race fuzz fuzz-seeds bench bench-store bench-cache bench-serve bench-coldstart bench-obs serve-smoke serve-sweep-smoke snapshot-smoke flight-smoke
+.PHONY: tier1 vet build test race fuzz fuzz-seeds bench bench-store bench-cache bench-serve bench-coldstart bench-obs bench-shard serve-smoke serve-sweep-smoke snapshot-smoke flight-smoke shard-smoke
 
-tier1: vet build race fuzz-seeds serve-sweep-smoke snapshot-smoke flight-smoke
+tier1: vet build race fuzz-seeds serve-sweep-smoke snapshot-smoke flight-smoke shard-smoke
 
 vet:
 	$(GO) vet ./...
@@ -93,6 +93,21 @@ bench-serve:
 # lands in the JSONL log with the trace ID the response header carried.
 flight-smoke:
 	$(GO) test -run TestFlightSmokeBinary -v ./internal/serve
+
+# Sharded-store smoke (tier-1): boot the real gqa-serve binary from a
+# GQAFRZ1 snapshot with -shards 4, require one known answer over HTTP and
+# the gqa_store_shard_* series on /metrics — a sharded-boot regression
+# fails the gate end to end.
+shard-smoke:
+	$(GO) test -run TestShardSmokeBinary -v ./internal/serve
+
+# Sharded-matching benchmark: K ∈ {1,2,4,8} sweep over the matcher
+# workload (identity to K=1 is the acceptance gate, not speedup, so the
+# result is meaningful on single-core boxes too), plus the incremental
+# re-freeze comparison (whole graph vs one dirty shard after a single
+# Add) on the 20k synthetic graph, recorded in BENCH_shard.json.
+bench-shard:
+	$(GO) run ./cmd/gqa-bench -exp shard -json BENCH_shard.json
 
 # Flight-recorder overhead benchmark: the full traced pipeline with the
 # recorder on vs off (best-of interleaved reps), plus the benchmark-asserted

@@ -7,6 +7,7 @@
 //	gqa-bench -exp table4|table5|table6|table7|exp1|table8|fig6|table9|table10|table11|table12
 //	gqa-bench -exp ablations     # TA stopping, pruning, paths, BFS
 //	gqa-bench -exp store -json BENCH_store.json   # frozen CSR vs mutable store
+//	gqa-bench -exp shard -json BENCH_shard.json   # sharded scatter-gather matching
 //	gqa-bench -exp all
 //
 // Absolute numbers differ from the paper (the substrate is an in-process
@@ -65,6 +66,7 @@ func main() {
 		{"ablations", ablations, "design-choice ablations"},
 		{"parallel", parallelExp, "seq-vs-par top-k matcher speedup"},
 		{"store", storeExp, "frozen CSR snapshot vs mutable adjacency store"},
+		{"shard", shardExp, "sharded scatter-gather matching: K sweep, identity, incremental re-freeze"},
 		{"coldstart", coldstartExp, "boot-time comparison: N-Triples parse vs GQASNAP1 vs GQAFRZ1"},
 		{"cache", cacheExp, "answer cache: cold vs warm vs coalesced latency"},
 		{"serve", serveExp, "overload sweep: admission control, shedding, latency curve over a live listener"},
@@ -745,6 +747,161 @@ func storeExp() {
 	report.Freeze.Triples = sn.NumTriples()
 	report.Freeze.Terms = sn.NumTerms()
 
+	if *jsonPath != "" {
+		report.Metrics = obs.Default.Snapshot()
+		writeJSON(*jsonPath, report)
+	}
+}
+
+// ------------------------------------------------------------------- shard
+
+// shardExp exercises the sharded scatter-gather matcher: a shard-count
+// sweep (K ∈ {1,2,4,8}) over the store/parallel matcher workload with
+// per-K latency, allocation, and identity-to-K=1 verification, plus the
+// incremental re-freeze comparison on the 20k synthetic graph — after one
+// Add, a sharded store rebuilds exactly one shard where the monolithic
+// snapshot rebuilds everything. Identity, not speedup, is the sweep's
+// gate: on a single-core box the scatter cannot win, but the answers must
+// be byte-identical at every K. With -json PATH the comparison is written
+// as JSON (the BENCH_shard.json artifact).
+func shardExp() {
+	const (
+		nInst  = 400
+		fanout = 40
+		reps   = 5
+	)
+	type krun struct {
+		Shards        int     `json:"shards"`
+		P50NsPerOp    int64   `json:"p50_ns_per_op"`
+		BytesPerOp    int64   `json:"bytes_per_op"`
+		Speedup       float64 `json:"speedup_vs_k1"`
+		BoundaryEdges int     `json:"boundary_edges"`
+		Identical     bool    `json:"identical_to_k1"`
+	}
+
+	g, q := matcherWorkload(nInst, fanout)
+	opts := core.MatchOptions{TopK: 10}
+
+	g.SetShards(1)
+	g.Freeze()
+	baseMatches, baseStats := core.FindTopKMatches(g, q, opts)
+
+	var runs []krun
+	identicalAll := true
+	var k1Ns int64
+	fmt.Printf("GOMAXPROCS=%d NumCPU=%d — %d seed tasks per search\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), nInst)
+	fmt.Println("shards  p50/op       bytes/op   boundary  speedup  identical")
+	for _, k := range []int{1, 2, 4, 8} {
+		g.SetShards(k)
+		g.Freeze()
+		boundary := 0
+		if ss, ok := g.FrozenView().(*store.ShardSet); ok {
+			boundary = ss.BoundaryEdges()
+		}
+		matches, stats := core.FindTopKMatches(g, q, opts)
+		identical := reflect.DeepEqual(matches, baseMatches) &&
+			reflect.DeepEqual(stats, baseStats)
+		identicalAll = identicalAll && identical
+
+		samples := make([]int64, 0, reps)
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			core.FindTopKMatches(g, q, opts)
+			samples = append(samples, time.Since(start).Nanoseconds())
+		}
+		runtime.ReadMemStats(&ms1)
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		p50 := samples[len(samples)/2]
+		bytesPerOp := int64(ms1.TotalAlloc-ms0.TotalAlloc) / reps
+		if k == 1 {
+			k1Ns = p50
+		}
+		speedup := float64(k1Ns) / float64(p50)
+		runs = append(runs, krun{Shards: k, P50NsPerOp: p50, BytesPerOp: bytesPerOp,
+			Speedup: speedup, BoundaryEdges: boundary, Identical: identical})
+		fmt.Printf("%-7d %-12s %-10d %-9d %6.2f×  %v\n", k,
+			time.Duration(p50).Round(time.Microsecond), bytesPerOp, boundary, speedup, identical)
+	}
+
+	// Incremental re-freeze on the 20k synthetic graph. Baseline: one Add
+	// on the monolithic store re-freezes the whole graph. Sharded: an Add
+	// whose subject and object live on the same shard (same residue mod K,
+	// existing predicate, fresh triple — a duplicate Add is a no-op and
+	// dirties nothing) re-freezes exactly that one shard.
+	const shardsK = 8
+	g20 := bench.NewSynthGraph(bench.SynthOptions{Seed: 7, Entities: 20000}).Graph
+	pred := g20.Intern(g20.Triples()[0].Predicate)
+	// Fresh vertices come out of Intern with consecutive IDs, so ids[0] and
+	// ids[shardsK] share a residue; pairIdx walks disjoint pairs per rep.
+	freshPair := func(rep, variant int) (store.ID, store.ID) {
+		a := g20.Intern(rdf.Resource(fmt.Sprintf("shardexp-%d-%d-a", variant, rep)))
+		var b store.ID
+		for i := 0; ; i++ {
+			b = g20.Intern(rdf.Resource(fmt.Sprintf("shardexp-%d-%d-b%d", variant, rep, i)))
+			if int(b)%shardsK == int(a)%shardsK {
+				return a, b
+			}
+		}
+	}
+	timeRefreeze := func(variant int) int64 {
+		best := int64(0)
+		for r := 0; r < 3; r++ {
+			s, o := freshPair(r, variant)
+			g20.AddSPO(s, pred, o)
+			start := time.Now()
+			g20.Freeze()
+			if d := time.Since(start).Nanoseconds(); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	g20.SetShards(1)
+	g20.Freeze()
+	wholeNs := timeRefreeze(0)
+
+	g20.SetShards(shardsK)
+	g20.Freeze() // full sharded build, not timed
+	shardFreezes := obs.DefaultCounter("gqa_store_shard_freezes_total", "")
+	before := shardFreezes.Value()
+	oneNs := timeRefreeze(1)
+	rebuilt := shardFreezes.Value() - before
+	oneShardOnly := rebuilt == 3 // 3 reps × exactly 1 shard each
+	refreezeSpeedup := float64(wholeNs) / float64(oneNs)
+	fmt.Printf("re-freeze after one Add (20k graph): whole-graph %s, single-shard %s (%.1f×), shards rebuilt/refreeze=%.1f\n",
+		time.Duration(wholeNs).Round(time.Microsecond), time.Duration(oneNs).Round(time.Microsecond),
+		refreezeSpeedup, float64(rebuilt)/3)
+
+	report := struct {
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		NumCPU     int    `json:"num_cpu"`
+		Seeds      int    `json:"seed_tasks"`
+		Runs       []krun `json:"runs"`
+		Refreeze   struct {
+			WholeGraphNs  int64   `json:"whole_graph_ns"`
+			SingleShardNs int64   `json:"single_shard_ns"`
+			Speedup       float64 `json:"speedup"`
+			ShardsRebuilt float64 `json:"shards_rebuilt_per_refreeze"`
+		} `json:"refreeze_after_one_add"`
+		Accept struct {
+			IdenticalAllK    bool `json:"identical_all_k"`
+			RefreezeOneShard bool `json:"refreeze_one_shard"`
+			RefreezeAtLeast4 bool `json:"single_shard_refreeze_at_least_4x"`
+			NumCPU           int  `json:"num_cpu"`
+		} `json:"acceptance"`
+		Metrics map[string]any `json:"metrics"`
+	}{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Seeds: nInst, Runs: runs}
+	report.Refreeze.WholeGraphNs = wholeNs
+	report.Refreeze.SingleShardNs = oneNs
+	report.Refreeze.Speedup = refreezeSpeedup
+	report.Refreeze.ShardsRebuilt = float64(rebuilt) / 3
+	report.Accept.IdenticalAllK = identicalAll
+	report.Accept.RefreezeOneShard = oneShardOnly
+	report.Accept.RefreezeAtLeast4 = refreezeSpeedup >= 4
+	report.Accept.NumCPU = runtime.NumCPU()
 	if *jsonPath != "" {
 		report.Metrics = obs.Default.Snapshot()
 		writeJSON(*jsonPath, report)

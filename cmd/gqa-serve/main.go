@@ -6,7 +6,7 @@
 // Usage:
 //
 //	gqa-serve [-addr host:port] [-graph graph.nt -dict dict.tsv]
-//	          [-snapshot path.frz]
+//	          [-snapshot path.frz] [-shards K]
 //	          [-aggregate] [-parallel N] [-timeout d]
 //	          [-cache N] [-max-question N]
 //	          [-max-inflight N] [-max-queue N]
@@ -24,6 +24,13 @@
 // freeze). When it is missing or rejected, the graph is built the usual way
 // and the frozen snapshot is written back (atomically, via rename) so the
 // next restart is instant. Rolling restarts pay the parse cost once.
+//
+// -shards partitions the frozen store into K vertex-hash shards (see the
+// README's Sharding section): per-shard CSR snapshots with a boundary
+// index, scatter-gather matching, and per-shard incremental re-freeze
+// after mutations. Answers are byte-identical at every K. The GQAFRZ1
+// snapshot format stays monolithic — sharding is a runtime layout applied
+// after boot — so -shards composes freely with -snapshot.
 //
 // Endpoints:
 //
@@ -96,6 +103,7 @@ func main() {
 	graphPath := flag.String("graph", "", "N-Triples graph file (default: bundled mini-DBpedia)")
 	dictPath := flag.String("dict", "", "paraphrase dictionary file (gqa-mine output)")
 	snapPath := flag.String("snapshot", "", "GQAFRZ1 frozen snapshot: load on boot when valid, else rebuild and save here")
+	shards := flag.Int("shards", 0, "partition the frozen store into K vertex-hash shards (0 or 1 = monolithic)")
 	aggregate := flag.Bool("aggregate", false, "enable the counting/superlative extension")
 	parallel := flag.Int("parallel", 0, "matcher worker goroutines per question (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 5*time.Second, "wall-clock budget per question (0 = unlimited)")
@@ -119,6 +127,9 @@ func main() {
 	}
 	sys.SetParallelism(*parallel)
 	sys.SetCache(*cacheSize)
+	if *shards > 1 {
+		sys.SetShards(*shards)
+	}
 
 	// The flight recorder is always on (bounded memory, zero steady-state
 	// cost when idle); -flight-log additionally persists the wide events.

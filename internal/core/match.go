@@ -91,6 +91,14 @@ type MatchOptions struct {
 	// (only the coordinator writes), so the hot path never synchronizes on
 	// the trace.
 	Span *obs.Span
+	// View pins the frozen view the search reads. Nil — the default —
+	// captures the graph's current view (monolithic snapshot or shard set)
+	// at search start, falling back to the mutable indexes on an unfrozen
+	// graph. A caller that pins a view explicitly gets a search that never
+	// touches mutable graph state, so it is safe to run concurrently with
+	// Add/Remove on the same graph (the concurrent-mutation tests rely on
+	// this).
+	View store.View
 }
 
 func (o *MatchOptions) defaults() {
@@ -112,13 +120,24 @@ func (o *MatchOptions) defaults() {
 // the internally synchronized resultSet.
 type matcher struct {
 	g *store.Graph
-	// sn is the graph's frozen CSR snapshot captured once at search start
-	// (nil when the graph is unfrozen). Hot probes — neighborhood pruning,
-	// per-predicate degrees for selectivity ordering — go through it
-	// directly instead of re-loading the graph's snapshot pointer per call.
-	sn   *store.Snapshot
+	// view is the frozen view captured once at search start — the
+	// monolithic CSR snapshot, or the sharded set when the graph runs with
+	// SetShards(k>1); nil when the graph is unfrozen. Hot probes —
+	// neighborhood pruning, per-predicate degrees for selectivity ordering,
+	// path traversal — go through it directly instead of re-loading the
+	// graph's view pointer per call, and a non-nil view is the only graph
+	// surface the search reads (see MatchOptions.View).
+	view store.View
 	q    *QueryGraph
 	opts MatchOptions
+
+	// shardRounds counts, per shard, the rounds in which at least one seed
+	// landed on that shard. Allocated only when view is a ShardSet with
+	// more than one shard; updated by the coordinator in roundTasks, so
+	// the counts are independent of how the pool scheduled the seeds. They
+	// surface as span attributes (shard_fanout, shard_rounds), never in
+	// MatchStats — stats stay byte-identical across shard counts.
+	shardRounds []int
 
 	// statePool recycles searchState values (and their per-vertex/per-edge
 	// slices) across the many seeds of one search; states are reset on Get.
@@ -188,7 +207,14 @@ type MatchStats struct {
 // on the caller's goroutine for the facade's *PipelineError conversion.
 func FindTopKMatches(g *store.Graph, q *QueryGraph, opts MatchOptions) ([]Match, MatchStats) {
 	opts.defaults()
-	m := &matcher{g: g, sn: g.Frozen(), q: q, opts: opts, res: newResultSet(opts.MaxMatches)}
+	view := opts.View
+	if view == nil {
+		view = g.FrozenView()
+	}
+	m := &matcher{g: g, view: view, q: q, opts: opts, res: newResultSet(opts.MaxMatches)}
+	if ss, ok := view.(*store.ShardSet); ok && ss.NumShards() > 1 {
+		m.shardRounds = make([]int, ss.NumShards())
+	}
 	m.statePool.New = func() any { return newSearchState(len(q.Vertices), len(q.Edges)) }
 	var stats MatchStats
 	stats.Parallelism = opts.Parallelism
@@ -307,6 +333,26 @@ func (m *matcher) finishStats(stats *MatchStats, returned int) {
 	if stats.Truncated != "" {
 		sp.SetStr("truncated", stats.Truncated)
 	}
+	if m.shardRounds != nil {
+		// Shard telemetry lives on the span (and flows into flight-recorder
+		// wide events), never in MatchStats: stats stay byte-identical
+		// across shard counts. shard_fanout is the number of distinct
+		// shards seeded over the whole search; shard_rounds is the
+		// per-shard count of rounds with at least one seed.
+		fanout := 0
+		var b strings.Builder
+		for i, c := range m.shardRounds {
+			if c > 0 {
+				fanout++
+			}
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(c))
+		}
+		sp.SetInt("shard_fanout", int64(fanout))
+		sp.SetStr("shard_rounds", b.String())
+	}
 }
 
 // seedTask is one unit of parallel work: enumerate every match in which
@@ -340,7 +386,7 @@ func (m *matcher) roundTasks(anchors []int, round int) []seedTask {
 		c := m.cands[vi][round]
 		m.probes.Add(1)
 		if c.IsClass {
-			for _, u := range m.g.InstancesOf(c.ID) {
+			for _, u := range m.instancesOf(c.ID) {
 				tasks = append(tasks, seedTask{vi: vi, u: u, via: c.ID, score: c.Score, cost: m.seedCost(vi, u)})
 			}
 		} else {
@@ -348,7 +394,68 @@ func (m *matcher) roundTasks(anchors []int, round int) []seedTask {
 		}
 	}
 	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].cost < tasks[j].cost })
+	if m.shardRounds != nil && len(tasks) > 0 {
+		// Coordinator-only shard telemetry: mark the shards seeded this
+		// round. Derived from the task list before execution, so the counts
+		// do not depend on parallelism or scheduling.
+		k := len(m.shardRounds)
+		seen := make([]bool, k)
+		for i := range tasks {
+			seen[int(tasks[i].u)%k] = true
+		}
+		for s, hit := range seen {
+			if hit {
+				m.shardRounds[s]++
+			}
+		}
+	}
 	return tasks
+}
+
+// instancesOf returns the instance entities of class c (the subjects of
+// ⟨s, rdf:type, c⟩ triples). Through a pinned view the answer is the
+// class's in-span over rdf:type — the same (Pred,To)-sorted CSR run on the
+// monolithic snapshot and the sharded set, so the seed order is identical
+// at every shard count. Without a view it falls back to the mutable
+// instance index.
+func (m *matcher) instancesOf(c store.ID) []store.ID {
+	if m.view != nil {
+		tid := m.view.TypeID()
+		if tid == store.None {
+			return nil
+		}
+		span := m.view.InPred(c, tid)
+		out := make([]store.ID, len(span))
+		for i := range span {
+			out[i] = span[i].To
+		}
+		return out
+	}
+	return m.g.InstancesOf(c)
+}
+
+// instanceCount is len(instancesOf(c)) without materializing the slice —
+// a binary-searched degree on a view.
+func (m *matcher) instanceCount(c store.ID) int {
+	if m.view != nil {
+		tid := m.view.TypeID()
+		if tid == store.None {
+			return 0
+		}
+		return m.view.InPredDegree(c, tid)
+	}
+	return len(m.g.InstancesOf(c))
+}
+
+// hasType answers "is w an instance of class c" through the pinned view
+// when one exists (a binary-searched membership probe; cross-shard probes
+// route through the boundary index) and the mutable graph otherwise.
+func (m *matcher) hasType(w, c store.ID) bool {
+	if m.view != nil {
+		tid := m.view.TypeID()
+		return tid != store.None && m.view.Has(w, tid, c)
+	}
+	return m.g.HasType(w, c)
 }
 
 // seedCost estimates the first extension a seed (vi, u) pays: the smallest
@@ -388,6 +495,10 @@ func (m *matcher) runTasks(tasks []seedTask) {
 		}
 		return
 	}
+	if ss, ok := m.view.(*store.ShardSet); ok && ss.NumShards() > 1 && len(tasks) > 1 {
+		m.runTasksSharded(ss.NumShards(), tasks, p)
+		return
+	}
 	ch := make(chan *seedTask)
 	var wg sync.WaitGroup
 	matchWorkers.Add(int64(p))
@@ -406,6 +517,67 @@ func (m *matcher) runTasks(tasks []seedTask) {
 			break
 		}
 		ch <- &tasks[i]
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// shardGroup is one shard's slice of a round: the seeds whose root entity
+// that shard owns, in the round's global cost order.
+type shardGroup struct {
+	shard int
+	tasks []*seedTask
+}
+
+// runTasksSharded is the scatter phase of the sharded round: the round's
+// seeds partition by the shard owning each seed entity (shardOf(u) =
+// u mod K), the bounded pool drains whole per-shard groups, and each
+// worker walks its group sequentially in the round's cost order. The
+// gather is the same round barrier the monolithic pool uses — runTasks
+// returns only after every group drained — so thresholdReached evaluates
+// exactly the state a sequential round produces. Grouping by shard gives
+// each worker locality in one shard's CSR arrays; it cannot change the
+// result because the shared result set is order-independent (record keeps
+// the per-key max) and every seed still runs before the barrier.
+func (m *matcher) runTasksSharded(k int, tasks []seedTask, p int) {
+	groups := make([]shardGroup, 0, k)
+	bySh := make(map[int]int, k)
+	for i := range tasks {
+		s := int(tasks[i].u) % k
+		gi, ok := bySh[s]
+		if !ok {
+			gi = len(groups)
+			bySh[s] = gi
+			groups = append(groups, shardGroup{shard: s})
+		}
+		groups[gi].tasks = append(groups[gi].tasks, &tasks[i])
+	}
+	if p > len(groups) {
+		p = len(groups)
+	}
+	ch := make(chan *shardGroup)
+	var wg sync.WaitGroup
+	matchWorkers.Add(int64(p))
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer matchWorkers.Add(-1)
+			for grp := range ch {
+				for _, t := range grp.tasks {
+					if m.aborted() {
+						break
+					}
+					m.runSeed(t)
+				}
+			}
+		}()
+	}
+	for i := range groups {
+		if m.aborted() {
+			break
+		}
+		ch <- &groups[i]
 	}
 	close(ch)
 	wg.Wait()
@@ -512,7 +684,7 @@ func (m *matcher) anchorVertices() []int {
 		cost := 0
 		for _, c := range m.cands[vi] {
 			if c.IsClass {
-				cost += len(m.g.InstancesOf(c.ID))
+				cost += m.instanceCount(c.ID)
 			} else {
 				cost++
 			}
@@ -565,12 +737,12 @@ func (m *matcher) passesNeighborhood(vi int, u store.ID) bool {
 	return true
 }
 
-// hasAdjPred answers the §4.2.2 adjacency test through the captured
-// snapshot when the graph is frozen (2-bit signature + CSR binary search)
-// and the mutable graph otherwise.
+// hasAdjPred answers the §4.2.2 adjacency test through the captured view
+// when the graph is frozen (2-bit signature + CSR binary search, per shard
+// on a sharded view) and the mutable graph otherwise.
 func (m *matcher) hasAdjPred(u, p store.ID) bool {
-	if m.sn != nil {
-		return m.sn.HasAdjacentPred(u, p)
+	if m.view != nil {
+		return m.view.HasAdjacentPred(u, p)
 	}
 	return m.g.HasAdjacentPred(u, p)
 }
@@ -812,7 +984,7 @@ func (m *matcher) extend(st *searchState) {
 			us := []store.ID{c.ID}
 			via := store.None
 			if c.IsClass {
-				us = m.g.InstancesOf(c.ID)
+				us = m.instancesOf(c.ID)
 				via = c.ID
 			}
 			for _, u := range us {
@@ -861,11 +1033,11 @@ func (m *matcher) extend(st *searchState) {
 // graph answers with a signature-gated scan, so both paths compute the
 // same number and the selectivity ordering below is identical on either).
 func (m *matcher) predDegree(u, p store.ID, forward bool) int {
-	if m.sn != nil {
+	if m.view != nil {
 		if forward {
-			return m.sn.OutPredDegree(u, p)
+			return m.view.OutPredDegree(u, p)
 		}
-		return m.sn.InPredDegree(u, p)
+		return m.view.InPredDegree(u, p)
 	}
 	if forward {
 		return m.g.OutPredDegree(u, p)
@@ -947,8 +1119,8 @@ func (m *matcher) reachable(u store.ID, p dict.Path, reversed bool) []store.ID {
 	if reversed {
 		a, b = b, a
 	}
-	out := dict.FollowPath(m.g, u, a)
-	more := dict.FollowPath(m.g, u, b)
+	out := dict.FollowPathView(m.g, m.view, u, a)
+	more := dict.FollowPathView(m.g, m.view, u, b)
 	// Each FollowPath result is already distinct; only the cross-direction
 	// overlap needs deduping. Typical frontiers are small, so a nested scan
 	// beats allocating a map; large ones fall back to one.
@@ -997,7 +1169,7 @@ func (m *matcher) vertexAccepts(vi int, w store.ID) (acceptance, bool) {
 			if c.Score > best.score {
 				best = acceptance{via: store.None, score: c.Score}
 			}
-		case c.IsClass && m.g.HasType(w, c.ID):
+		case c.IsClass && m.hasType(w, c.ID):
 			if c.Score > best.score {
 				best = acceptance{via: c.ID, score: c.Score}
 			}
@@ -1041,7 +1213,7 @@ func (m *matcher) finish(st *searchState) {
 			// Choose the best candidate path connecting the endpoints.
 			found := false
 			for _, pc := range e.Candidates {
-				if dict.PathConnects(m.g, st.assign[e.From], st.assign[e.To], pc.Path) {
+				if dict.PathConnectsView(m.g, m.view, st.assign[e.From], st.assign[e.To], pc.Path) {
 					st.paths[ei], st.pscore[ei] = pc.Path, pc.Score
 					filled = append(filled, ei)
 					found = true
@@ -1073,9 +1245,21 @@ func (m *matcher) enumerateUnanchored() {
 	m.probes.Add(1)
 	st := m.getState()
 	defer m.putState(st)
-	for v := 0; v < m.g.NumTerms() && !m.res.full(); v++ {
+	// Enumerate through the pinned view when one exists so this path, too,
+	// reads no mutable graph state.
+	n := m.g.NumTerms()
+	if m.view != nil {
+		n = m.view.NumTerms()
+	}
+	term := m.g.Term
+	degree := m.g.Degree
+	if m.view != nil {
+		term = m.view.Term
+		degree = m.view.Degree
+	}
+	for v := 0; v < n && !m.res.full(); v++ {
 		u := store.ID(v)
-		if !m.g.Term(u).IsIRI() || m.g.Degree(u) == 0 {
+		if !term(u).IsIRI() || degree(u) == 0 {
 			continue
 		}
 		if !m.opts.Budget.Candidate() {

@@ -112,7 +112,13 @@ type Event struct {
 	TotalUs      int64     `json:"total_us"`
 	Results      int       `json:"results"`
 	Err          string    `json:"err,omitempty"`
-	Stages       []Stage   `json:"stages,omitempty"`
+	// ShardFanout is the number of distinct store shards the top-k search
+	// seeded; ShardRounds is the per-shard count of TA rounds with at least
+	// one seed, comma-joined ("4,0,3,1"). Both derive from the core.match
+	// span and are zero/empty on a monolithic (unsharded) store.
+	ShardFanout int     `json:"shard_fanout,omitempty"`
+	ShardRounds string  `json:"shard_rounds,omitempty"`
+	Stages      []Stage `json:"stages,omitempty"`
 }
 
 // droppedTotal counts wide events discarded because the ingest queue was
@@ -227,6 +233,16 @@ func (r *Recorder) handle(j job) {
 	if ev.CacheOutcome == "" {
 		if outs := tr.FindAttrs("cache.lookup", "outcome"); len(outs) > 0 {
 			ev.CacheOutcome = outs[len(outs)-1]
+		}
+	}
+	if ev.ShardFanout == 0 {
+		if fo := tr.FindAttrs("core.match", "shard_fanout"); len(fo) > 0 {
+			ev.ShardFanout, _ = strconv.Atoi(fo[len(fo)-1])
+		}
+	}
+	if ev.ShardRounds == "" {
+		if srs := tr.FindAttrs("core.match", "shard_rounds"); len(srs) > 0 {
+			ev.ShardRounds = srs[len(srs)-1]
 		}
 	}
 	if ev.Stages == nil && tr != nil {
@@ -452,6 +468,14 @@ func appendEventJSON(buf []byte, ev *Event) []byte {
 	if ev.Err != "" {
 		buf = append(buf, `,"err":`...)
 		buf = strconv.AppendQuote(buf, ev.Err)
+	}
+	if ev.ShardFanout > 0 {
+		buf = append(buf, `,"shard_fanout":`...)
+		buf = strconv.AppendInt(buf, int64(ev.ShardFanout), 10)
+	}
+	if ev.ShardRounds != "" {
+		buf = append(buf, `,"shard_rounds":`...)
+		buf = strconv.AppendQuote(buf, ev.ShardRounds)
 	}
 	if len(ev.Stages) > 0 {
 		buf = append(buf, `,"stages":[`...)

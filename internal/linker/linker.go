@@ -73,7 +73,8 @@ func New(g *store.Graph, opts Options) *Linker {
 	// On a frozen graph Entities() serves the snapshot's precomputed list
 	// and the literal pass below answers from CSR degrees, so indexing a
 	// large graph skips the per-vertex map probes of the mutable path.
-	sn := g.Frozen()
+	// FrozenView covers both the monolithic snapshot and the sharded set.
+	sn := g.FrozenView()
 	for _, id := range g.Entities() {
 		l.index(id, false)
 	}

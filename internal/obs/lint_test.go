@@ -117,4 +117,15 @@ func TestMetricNamingConvention(t *testing.T) {
 			t.Errorf("no metrics from package %q appeared in the exposition", pkg)
 		}
 	}
+
+	// The sharded-store series are registered at package init (not lazily),
+	// so they must be present — and linted — even on an unsharded run.
+	for _, name := range []string{
+		"gqa_store_shard_freezes_total",
+		"gqa_store_shard_boundary_edges_total",
+	} {
+		if !strings.Contains(b.String(), "# TYPE "+name+" counter") {
+			t.Errorf("shard metric %s missing from the exposition", name)
+		}
+	}
 }

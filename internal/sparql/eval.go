@@ -91,8 +91,8 @@ func evalTracked(g *store.Graph, q *Query, tr *budget.Tracker) (*Result, error) 
 	// without re-loading the graph's snapshot pointer per call. An
 	// unfrozen graph keeps the mutable index dispatch.
 	match := g.Match
-	if sn := g.Frozen(); sn != nil {
-		match = sn.Match
+	if fv := g.FrozenView(); fv != nil {
+		match = fv.Match
 	}
 
 	limit := q.Limit

@@ -110,7 +110,16 @@ func (g *Graph) Freeze() *Snapshot { return g.FreezeCtx(context.Background()) }
 
 // FreezeCtx is Freeze with a trace span ("store.freeze") recorded on the
 // context's trace when one is present.
+//
+// On a sharded graph (SetShards with k > 1) the freeze builds the
+// per-shard ShardSet instead — rebuilding only shards whose generation
+// moved, see shard.go — and returns nil: sharded callers read through
+// FrozenView, which serves the ShardSet.
 func (g *Graph) FreezeCtx(ctx context.Context) *Snapshot {
+	if g.shardK > 1 {
+		g.freezeShards(ctx)
+		return nil
+	}
 	gen := g.gen.Load()
 	if sn := g.snap.Load(); sn != nil && sn.gen == gen {
 		return sn

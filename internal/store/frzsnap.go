@@ -115,6 +115,13 @@ const (
 // errors are surfaced, not swallowed.
 func SaveFrozen(w io.Writer, g *Graph) error {
 	sn := g.Freeze()
+	if sn == nil {
+		// Sharded graph: Freeze installed a ShardSet, not a Snapshot. The
+		// GQAFRZ1 format stays monolithic (sharding is a runtime layout,
+		// reapplied via SetShards after boot), so build one directly
+		// without installing it.
+		sn = buildSnapshot(g, g.gen.Load())
+	}
 	start := time.Now()
 	secs := encodeFrozenSections(sn)
 	var dir []byte

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"gqa/internal/rdf"
@@ -79,6 +80,19 @@ type Graph struct {
 	// See frozen.go for the freeze contract.
 	gen  atomic.Uint64
 	snap atomic.Pointer[Snapshot]
+
+	// Vertex-hash sharding (see shard.go). shardK is the configured shard
+	// count (0 = unsharded); shardGens carries one mutation generation per
+	// shard — Add/Remove bumps only the endpoint shards' entries, so the
+	// next freeze rebuilds exactly the dirty shards. shards is the
+	// installed ShardSet (cleared on any mutation, like snap); lastShards
+	// keeps the most recent assembly under shardMu so clean shards can be
+	// reused across freezes (the delta overlay).
+	shardK     int
+	shardGens  []atomic.Uint64
+	shards     atomic.Pointer[ShardSet]
+	shardMu    sync.Mutex
+	lastShards *ShardSet
 }
 
 // New returns an empty graph.
@@ -157,6 +171,9 @@ func (g *Graph) addIDs(s, p, o ID) {
 	}
 	g.triples[spo] = struct{}{}
 	g.invalidateFrozen()
+	// First use of predicate p flips its vertex's rolePred bit, so its
+	// shard must re-run the role pass too, not just the endpoints'.
+	g.dirtyShards(s, o, p, g.preds[p] == 0)
 	g.pidx.invalidate(s, o)
 	g.out[s] = append(g.out[s], Edge{Pred: p, To: o})
 	g.in[o] = append(g.in[o], Edge{Pred: p, To: s})
@@ -187,6 +204,27 @@ func (g *Graph) invalidateFrozen() {
 	g.snap.Store(nil)
 }
 
+// dirtyShards bumps the shard generations a mutation of triple (s, p, o)
+// invalidates — the endpoint shards, plus p's shard when the mutation
+// flips p's existence as a predicate (predFlip) — and drops the installed
+// ShardSet. Handed-out ShardSets remain valid pre-mutation views; the
+// next freeze rebuilds only the shards bumped here.
+func (g *Graph) dirtyShards(s, o, p ID, predFlip bool) {
+	k := g.shardK
+	if k <= 1 {
+		return
+	}
+	ss, os := int(s)%k, int(o)%k
+	g.shardGens[ss].Add(1)
+	if os != ss {
+		g.shardGens[os].Add(1)
+	}
+	if ps := int(p) % k; predFlip && ps != ss && ps != os {
+		g.shardGens[ps].Add(1)
+	}
+	g.shards.Store(nil)
+}
+
 // Generation returns the graph's mutation generation: a counter bumped by
 // every Add/Remove (Intern alone does not count — interning a term changes
 // no triple). It is the invalidation token for anything derived from the
@@ -205,6 +243,9 @@ func (g *Graph) Remove(s, p, o ID) bool {
 	}
 	delete(g.triples, spo)
 	g.invalidateFrozen()
+	// Last use of predicate p clears its vertex's rolePred bit (the preds
+	// entry is deleted below), so its shard re-runs the role pass.
+	g.dirtyShards(s, o, p, g.preds[p] == 1)
 	g.pidx.invalidate(s, o)
 	g.out[s] = removeEdge(g.out[s], Edge{Pred: p, To: o})
 	g.in[o] = removeEdge(g.in[o], Edge{Pred: p, To: s})
@@ -352,8 +393,8 @@ func (g *Graph) IsClass(v ID) bool {
 // frozen graph this reads the snapshot's precomputed role bitmap instead
 // of probing the class and predicate maps.
 func (g *Graph) IsEntity(v ID) bool {
-	if sn := g.snap.Load(); sn != nil {
-		return sn.IsEntity(v)
+	if fv := g.FrozenView(); fv != nil {
+		return fv.IsEntity(v)
 	}
 	if !g.terms[v].IsIRI() || g.IsClass(v) {
 		return false
@@ -442,8 +483,8 @@ func (g *Graph) PredCount(p ID) int { return g.preds[p] }
 // Entities returns all entity vertex IDs in ascending order. On a frozen
 // graph the list was precomputed during the freeze's role pass.
 func (g *Graph) Entities() []ID {
-	if sn := g.snap.Load(); sn != nil {
-		return sn.Entities()
+	if fv := g.FrozenView(); fv != nil {
+		return fv.Entities()
 	}
 	var out []ID
 	for v := range g.terms {
@@ -490,8 +531,8 @@ type Stats struct {
 // Stats computes summary statistics. On a frozen graph they were
 // precomputed during the freeze's role pass.
 func (g *Graph) Stats() Stats {
-	if sn := g.snap.Load(); sn != nil {
-		return sn.Stats()
+	if fv := g.FrozenView(); fv != nil {
+		return fv.Stats()
 	}
 	st := Stats{
 		Triples:    g.NumTriples(),

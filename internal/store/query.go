@@ -25,8 +25,8 @@ const Any ID = None
 // binary searches (see frozen.go); iteration order there is (Pred, To)-
 // sorted rather than insertion order.
 func (g *Graph) Match(s, p, o ID, fn func(Spo) bool) {
-	if sn := g.snap.Load(); sn != nil {
-		sn.Match(s, p, o, fn)
+	if fv := g.FrozenView(); fv != nil {
+		fv.Match(s, p, o, fn)
 		return
 	}
 	faultpoint.Hit(faultpoint.StoreMatch)
@@ -151,8 +151,8 @@ func (g *Graph) EdgesBetween(u, v ID) []Neighbor {
 // signature rejects most misses in O(1); on a frozen graph the snapshot's
 // wider 2-bit signature and binary-searched spans answer instead.
 func (g *Graph) HasAdjacentPred(v, p ID) bool {
-	if sn := g.snap.Load(); sn != nil {
-		return sn.HasAdjacentPred(v, p)
+	if fv := g.FrozenView(); fv != nil {
+		return fv.HasAdjacentPred(v, p)
 	}
 	if g.sig[v]&(uint64(1)<<(uint(p)%64)) == 0 {
 		return false

@@ -1,0 +1,690 @@
+package store
+
+// Vertex-hash sharded frozen snapshots. A ShardSet partitions the graph
+// into K shards by vertex residue (shard(v) = v mod K) and freezes each
+// shard into its own CSR arrays, so that:
+//
+//   - the top-k matcher can scatter one TA round's seeds across shards
+//     and gather at the round barrier (internal/core), and
+//   - Add/Remove dirties only the generations of the endpoint shards —
+//     the next freeze rebuilds exactly the dirty shards and reuses every
+//     clean shard's arrays wholesale (the delta overlay), instead of
+//     recompacting the whole graph.
+//
+// Each shard owns the full out- and in-adjacency of its vertices, so a
+// cross-shard edge (s, p, o) with shard(s) ≠ shard(o) appears twice: in
+// shard(s)'s out-CSR and shard(o)'s in-CSR. Cross-shard out-edges are
+// additionally listed in the shard's boundary index — a compact
+// (localVertex, pred, remoteShard, remoteVertex) list sorted for binary
+// search — so a cross-shard membership probe (ShardSet.Has) pays one
+// indexed hop in the source shard instead of a full-graph search.
+//
+// Order contract: every ShardSet read returns exactly what the
+// monolithic Snapshot would, in the same order. Per-vertex spans are the
+// identical (Pred, To)-sorted runs (a vertex lives wholly in one shard);
+// predicate-major scans k-way-merge the per-shard (S, O)-sorted groups,
+// and since subjects partition by residue the merge reproduces the
+// global (S, O) order exactly. internal/store's differential tests pin
+// this equivalence method by method.
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"gqa/internal/faultpoint"
+	"gqa/internal/obs"
+	"gqa/internal/rdf"
+)
+
+// Sharded-freeze metrics: how many shard CSRs were actually rebuilt
+// (clean shards are reused and not counted — the delta-overlay win) and
+// how many boundary-index entries those rebuilds produced.
+var (
+	shardFreezes = obs.DefaultCounter("gqa_store_shard_freezes_total",
+		"Shard CSRs rebuilt during sharded freezes (clean shards are reused, not counted).")
+	shardBoundaryEdges = obs.DefaultCounter("gqa_store_shard_boundary_edges_total",
+		"Cross-shard boundary-index edges built across shard rebuilds.")
+)
+
+// BoundaryEdge is one cross-shard out-edge in a shard's boundary index:
+// the source vertex as its dense local index, the predicate, and the
+// remote endpoint with its owning shard. The list is sorted by
+// (Local, Pred, To), so a membership probe is a binary search.
+type BoundaryEdge struct {
+	Local  uint32 // dense local index of the source vertex in this shard
+	Pred   ID
+	Remote uint32 // owning shard of To (To mod K), precomputed
+	To     ID
+}
+
+// shardPart is one shard's frozen arrays. Dense local indexing: shard s
+// of K owns global vertices v with v mod K == s, at local index v div K.
+// All fields are immutable after build; a part built at shard generation
+// gen is reused verbatim by later freezes while its shard stays clean.
+type shardPart struct {
+	gen    uint64 // shard mutation generation at build (Graph.shardGens)
+	shard  int
+	k      int
+	nTerms int // global term count at build (bounds guard for later interns)
+
+	// Full adjacency of owned vertices in local-indexed CSR form, spans
+	// sorted (Pred, To); the in side stores the subject in Edge.To.
+	outOff   []uint32
+	outEdges []Edge
+	inOff    []uint32
+	inEdges  []Edge
+
+	// Predicate-major CSR restricted to owned subjects: predIDs
+	// ascending, groups sorted (S, O).
+	predIDs     []ID
+	predOff     []uint32
+	predTriples []Spo
+
+	boundary []BoundaryEdge // cross-shard out-edges, sorted (Local, Pred, To)
+
+	sig      [][2]uint64 // two-hash-bit signatures, local-indexed
+	roles    []uint8     // role bitmap, local-indexed
+	entities []ID        // owned entity vertices, ascending global IDs
+	literals int         // owned literal terms
+	bytes    int64
+}
+
+// ShardSet is the sharded frozen view: K immutable shard parts plus the
+// global assembly (merged entity list, merged predicate list, stats).
+// Like a Snapshot, a handed-out ShardSet shares nothing mutable with the
+// graph and stays a valid pre-mutation read surface forever.
+type ShardSet struct {
+	gen   uint64 // global mutation generation at assembly
+	k     int
+	terms []rdf.Term
+	parts []*shardPart
+
+	rdfType  ID
+	nTriples int
+	predIDs  []ID // merged ascending union of the parts' predicate lists
+	entities []ID // merged ascending union of the parts' entity lists
+	stats    Stats
+	bytes    int64
+}
+
+// SetShards configures vertex-hash sharding: k > 1 partitions the next
+// freeze into k shards (and routes all frozen reads through the
+// ShardSet); k <= 1 restores the monolithic snapshot path. Switching
+// drops any installed frozen state, so call Freeze after. Not safe to
+// call concurrently with reads or mutation.
+func (g *Graph) SetShards(k int) {
+	g.shardMu.Lock()
+	defer g.shardMu.Unlock()
+	if k <= 1 {
+		k = 0
+	}
+	g.shardK = k
+	g.shards.Store(nil)
+	g.lastShards = nil
+	g.shardGens = nil
+	if k > 1 {
+		g.shardGens = make([]atomic.Uint64, k)
+		g.snap.Store(nil)
+	}
+}
+
+// NumShards returns the configured shard count (0 when unsharded).
+func (g *Graph) NumShards() int { return g.shardK }
+
+// GenVector returns the graph's generation vector: the global mutation
+// generation followed by each shard's generation when sharded. It is the
+// invalidation token sharded cache keys use — a mutation bumps exactly
+// the dirtied shards' entries.
+func (g *Graph) GenVector() []uint64 {
+	if g.shardK <= 1 {
+		return []uint64{g.gen.Load()}
+	}
+	out := make([]uint64, 1+g.shardK)
+	out[0] = g.gen.Load()
+	for i := range g.shardGens {
+		out[i+1] = g.shardGens[i].Load()
+	}
+	return out
+}
+
+// GenKey renders the generation vector as a compact cache-key component:
+// "g<gen>" unsharded, "g<gen>:<s0>.<s1>...." sharded.
+func (g *Graph) GenKey() string {
+	vec := g.GenVector()
+	buf := make([]byte, 0, 8+8*len(vec))
+	buf = append(buf, 'g')
+	buf = appendUint(buf, vec[0])
+	for i, sg := range vec[1:] {
+		if i == 0 {
+			buf = append(buf, ':')
+		} else {
+			buf = append(buf, '.')
+		}
+		buf = appendUint(buf, sg)
+	}
+	return string(buf)
+}
+
+func appendUint(b []byte, v uint64) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// freezeShards builds (or refreshes) the ShardSet at the graph's current
+// generation. Only shards whose generation moved since their last build
+// are recompacted; clean shards reuse their previous arrays wholesale —
+// the delta overlay that makes a single-shard mutation's re-freeze cost
+// ~1/K of a full freeze. Same contract as Freeze: must not run
+// concurrently with mutation; concurrent calls from readers are safe
+// (serialized by shardMu).
+func (g *Graph) freezeShards(ctx context.Context) *ShardSet {
+	gen := g.gen.Load()
+	if ss := g.shards.Load(); ss != nil && ss.gen == gen {
+		return ss
+	}
+	g.shardMu.Lock()
+	defer g.shardMu.Unlock()
+	gen = g.gen.Load()
+	if ss := g.shards.Load(); ss != nil && ss.gen == gen {
+		return ss
+	}
+	sp := obs.TraceFrom(ctx).Root().Child("store.freeze")
+	start := time.Now()
+	k := g.shardK
+	ss := &ShardSet{
+		gen:      gen,
+		k:        k,
+		terms:    g.terms,
+		parts:    make([]*shardPart, k),
+		rdfType:  g.rdfType,
+		nTriples: len(g.triples),
+	}
+	rebuilt := 0
+	for i := 0; i < k; i++ {
+		sgen := g.shardGens[i].Load()
+		if g.lastShards != nil && g.lastShards.parts[i].gen == sgen {
+			ss.parts[i] = g.lastShards.parts[i]
+			continue
+		}
+		part := buildShardPart(g, i, k, sgen)
+		ss.parts[i] = part
+		rebuilt++
+		shardFreezes.Inc()
+		shardBoundaryEdges.Add(int64(len(part.boundary)))
+	}
+	ss.assemble(g)
+	g.lastShards = ss
+	g.shards.Store(ss)
+	snapshotBuildSeconds.ObserveDuration(time.Since(start))
+	snapshotBytes.Set(ss.bytes)
+	snapshotBuilds.Inc()
+	if sp.Enabled() {
+		sp.SetInt("terms", int64(len(ss.terms)))
+		sp.SetInt("triples", int64(ss.nTriples))
+		sp.SetInt("bytes", ss.bytes)
+		sp.SetInt("shards", int64(k))
+		sp.SetInt("shards_rebuilt", int64(rebuilt))
+	}
+	sp.Finish()
+	return ss
+}
+
+// assemble derives the ShardSet's global structures from its parts: the
+// merged entity and predicate lists (k-way merges of ascending lists)
+// and the Table-4 stats. Triples/Predicates/Classes are read from the
+// live graph (O(1) lengths — assemble runs under the freeze's
+// single-writer contract); Entities sum over the parts' role passes.
+// Literals are recounted with one cheap term scan so literals interned
+// since a clean shard's build still show up.
+func (ss *ShardSet) assemble(g *Graph) {
+	total := 0
+	for _, p := range ss.parts {
+		total += len(p.entities)
+		ss.bytes += p.bytes
+	}
+	ss.entities = mergeAscending(ss.parts, total, func(p *shardPart) []ID { return p.entities })
+	np := 0
+	for _, p := range ss.parts {
+		np += len(p.predIDs)
+	}
+	ss.predIDs = mergeAscending(ss.parts, np, func(p *shardPart) []ID { return p.predIDs })
+	lits := 0
+	for _, t := range ss.terms {
+		if t.IsLiteral() {
+			lits++
+		}
+	}
+	ss.stats = Stats{
+		Entities:   total,
+		Classes:    len(g.classes),
+		Literals:   lits,
+		Triples:    len(g.triples),
+		Predicates: len(g.preds),
+	}
+}
+
+// mergeAscending k-way-merges one ascending ID list per part into a
+// single ascending list, deduplicating across parts (predicate lists can
+// repeat an ID across shards; entity lists cannot, but dedup is free).
+func mergeAscending(parts []*shardPart, capHint int, pick func(*shardPart) []ID) []ID {
+	lists := make([][]ID, 0, len(parts))
+	for _, p := range parts {
+		if l := pick(p); len(l) > 0 {
+			lists = append(lists, l)
+		}
+	}
+	out := make([]ID, 0, capHint)
+	for {
+		best := -1
+		for i, l := range lists {
+			if len(l) == 0 {
+				continue
+			}
+			if best < 0 || l[0] < lists[best][0] {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		v := lists[best][0]
+		lists[best] = lists[best][1:]
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+}
+
+// buildShardPart recompacts one shard from the mutable graph: the full
+// local CSRs, signatures, roles, owned-subject predicate CSR, and the
+// boundary index, at the shard's current generation.
+func buildShardPart(g *Graph, shard, k int, sgen uint64) *shardPart {
+	n := len(g.terms)
+	nLocal := 0
+	if n > shard {
+		nLocal = (n-shard-1)/k + 1
+	}
+	p := &shardPart{gen: sgen, shard: shard, k: k, nTerms: n}
+
+	p.outOff, p.outEdges = buildLocalCSR(g.out, shard, k, nLocal)
+	p.inOff, p.inEdges = buildLocalCSR(g.in, shard, k, nLocal)
+
+	// Boundary index: cross-shard out-edges, gathered in local order from
+	// the already-sorted spans, so the list arrives sorted (Local, Pred,
+	// To) without a second sort.
+	for l := 0; l < nLocal; l++ {
+		for _, e := range p.outEdges[p.outOff[l]:p.outOff[l+1]] {
+			if rs := int(e.To) % k; rs != shard {
+				p.boundary = append(p.boundary, BoundaryEdge{
+					Local: uint32(l), Pred: e.Pred, Remote: uint32(rs), To: e.To,
+				})
+			}
+		}
+	}
+
+	// Two-hash-bit signatures over both directions.
+	p.sig = make([][2]uint64, nLocal)
+	setSig := func(l int, es []Edge) {
+		for _, e := range es {
+			lo, hi := sigBits(e.Pred)
+			p.sig[l][0] |= lo
+			p.sig[l][1] |= hi
+		}
+	}
+	for l := 0; l < nLocal; l++ {
+		setSig(l, p.outEdges[p.outOff[l]:p.outOff[l+1]])
+		setSig(l, p.inEdges[p.inOff[l]:p.inOff[l+1]])
+	}
+
+	// Owned-subject predicate-major CSR: collect the shard's triples from
+	// the out spans, sort (P, S, O), then run-length the groups.
+	trips := make([]Spo, 0, len(p.outEdges))
+	for l := 0; l < nLocal; l++ {
+		s := ID(shard + l*k)
+		for _, e := range p.outEdges[p.outOff[l]:p.outOff[l+1]] {
+			trips = append(trips, Spo{S: s, P: e.Pred, O: e.To})
+		}
+	}
+	sort.Slice(trips, func(a, b int) bool {
+		if trips[a].P != trips[b].P {
+			return trips[a].P < trips[b].P
+		}
+		if trips[a].S != trips[b].S {
+			return trips[a].S < trips[b].S
+		}
+		return trips[a].O < trips[b].O
+	})
+	p.predTriples = trips
+	p.predOff = append(p.predOff, 0)
+	for i := 0; i < len(trips); {
+		j := i
+		for j < len(trips) && trips[j].P == trips[i].P {
+			j++
+		}
+		p.predIDs = append(p.predIDs, trips[i].P)
+		p.predOff = append(p.predOff, uint32(j))
+		i = j
+	}
+
+	// Role bitmap and owned entity list (same classification as
+	// buildSnapshot, restricted to owned vertices; locals ascend in
+	// global ID order, so entities come out ascending).
+	p.roles = make([]uint8, nLocal)
+	for l := 0; l < nLocal; l++ {
+		id := ID(shard + l*k)
+		var r uint8
+		t := g.terms[id]
+		switch {
+		case t.IsIRI():
+			r |= roleIRI
+		case t.IsLiteral():
+			r |= roleLiteral
+			p.literals++
+		}
+		if _, ok := g.classes[id]; ok {
+			r |= roleClass
+		}
+		if _, ok := g.preds[id]; ok {
+			r |= rolePred
+		}
+		deg := p.outOff[l+1] - p.outOff[l] + p.inOff[l+1] - p.inOff[l]
+		if r&roleIRI != 0 && r&(roleClass|rolePred) == 0 && deg > 0 {
+			r |= roleEntity
+			p.entities = append(p.entities, id)
+		}
+		p.roles[l] = r
+	}
+
+	p.bytes = int64(len(p.outEdges)+len(p.inEdges))*8 +
+		int64(len(p.outOff)+len(p.inOff)+len(p.predOff))*4 +
+		int64(len(p.predTriples))*12 +
+		int64(len(p.boundary))*16 +
+		int64(len(p.sig))*16 +
+		int64(len(p.roles)) +
+		int64(len(p.entities)+len(p.predIDs))*4
+	return p
+}
+
+// buildLocalCSR flattens the owned rows of a global adjacency table into
+// local-indexed offset+edge arrays, spans sorted (Pred, To).
+func buildLocalCSR(adj [][]Edge, shard, k, nLocal int) ([]uint32, []Edge) {
+	off := make([]uint32, nLocal+1)
+	total := 0
+	for l := 0; l < nLocal; l++ {
+		total += len(adj[shard+l*k])
+	}
+	edges := make([]Edge, 0, total)
+	for l := 0; l < nLocal; l++ {
+		start := len(edges)
+		edges = append(edges, adj[shard+l*k]...)
+		span := edges[start:]
+		sort.Slice(span, func(i, j int) bool {
+			if span[i].Pred != span[j].Pred {
+				return span[i].Pred < span[j].Pred
+			}
+			return span[i].To < span[j].To
+		})
+		off[l+1] = uint32(len(edges))
+	}
+	return off, edges
+}
+
+// ------------------------------------------------------------- accessors
+
+// Generation returns the global mutation generation the set was
+// assembled at.
+func (ss *ShardSet) Generation() uint64 { return ss.gen }
+
+// NumShards returns K.
+func (ss *ShardSet) NumShards() int { return ss.k }
+
+// Bytes returns the approximate heap size of all shard arrays.
+func (ss *ShardSet) Bytes() int64 { return ss.bytes }
+
+// BoundaryEdges returns the total cross-shard out-edges indexed across
+// all shards.
+func (ss *ShardSet) BoundaryEdges() int {
+	n := 0
+	for _, p := range ss.parts {
+		n += len(p.boundary)
+	}
+	return n
+}
+
+// NumTerms returns the number of interned terms at assembly time.
+func (ss *ShardSet) NumTerms() int { return len(ss.terms) }
+
+// NumTriples returns the number of distinct triples at assembly time.
+func (ss *ShardSet) NumTriples() int { return ss.nTriples }
+
+// Term returns the term for id.
+func (ss *ShardSet) Term(id ID) rdf.Term { return ss.terms[id] }
+
+// TypeID returns the interned ID of rdf:type, or None.
+func (ss *ShardSet) TypeID() ID { return ss.rdfType }
+
+func (ss *ShardSet) outSpan(v ID) []Edge {
+	p := ss.parts[int(v)%ss.k]
+	l := int(v) / ss.k
+	if l >= len(p.outOff)-1 {
+		return nil
+	}
+	return p.outEdges[p.outOff[l]:p.outOff[l+1]]
+}
+
+func (ss *ShardSet) inSpan(v ID) []Edge {
+	p := ss.parts[int(v)%ss.k]
+	l := int(v) / ss.k
+	if l >= len(p.inOff)-1 {
+		return nil
+	}
+	return p.inEdges[p.inOff[l]:p.inOff[l+1]]
+}
+
+// Out and In return v's full adjacency spans sorted (Pred, To) — the
+// same runs the monolithic Snapshot holds, served from v's shard.
+func (ss *ShardSet) Out(v ID) []Edge { return ss.outSpan(v) }
+func (ss *ShardSet) In(v ID) []Edge  { return ss.inSpan(v) }
+
+// OutPred and InPred are per-predicate runs (binary search in the
+// owning shard's span).
+func (ss *ShardSet) OutPred(v, p ID) []Edge { return predSpan(ss.outSpan(v), p) }
+func (ss *ShardSet) InPred(v, p ID) []Edge  { return predSpan(ss.inSpan(v), p) }
+
+// Per-predicate and total degrees.
+func (ss *ShardSet) OutPredDegree(v, p ID) int { return len(ss.OutPred(v, p)) }
+func (ss *ShardSet) InPredDegree(v, p ID) int  { return len(ss.InPred(v, p)) }
+func (ss *ShardSet) OutDegree(v ID) int        { return len(ss.outSpan(v)) }
+func (ss *ShardSet) InDegree(v ID) int         { return len(ss.inSpan(v)) }
+func (ss *ShardSet) Degree(v ID) int           { return ss.OutDegree(v) + ss.InDegree(v) }
+
+// HasAdjacentPred is the §4.2.2 pruning test over the owning shard's
+// 2-bit signature and spans.
+func (ss *ShardSet) HasAdjacentPred(v, p ID) bool {
+	part := ss.parts[int(v)%ss.k]
+	l := int(v) / ss.k
+	if l >= len(part.sig) {
+		return false
+	}
+	lo, hi := sigBits(p)
+	s := &part.sig[l]
+	if s[0]&lo == 0 || s[1]&hi == 0 {
+		return false
+	}
+	return spanHasPred(ss.outSpan(v), p) || spanHasPred(ss.inSpan(v), p)
+}
+
+// Has reports whether the triple is present. An intra-shard triple is a
+// binary search in s's out-span; a cross-shard triple is one indexed hop
+// through s's shard's boundary index — never a full-graph probe.
+func (ss *ShardSet) Has(s, p, o ID) bool {
+	sh := int(s) % ss.k
+	if int(o)%ss.k == sh {
+		span := ss.outSpan(s)
+		i := sort.Search(len(span), func(i int) bool {
+			e := span[i]
+			return e.Pred > p || (e.Pred == p && e.To >= o)
+		})
+		return i < len(span) && span[i].Pred == p && span[i].To == o
+	}
+	part := ss.parts[sh]
+	l := uint32(int(s) / ss.k)
+	b := part.boundary
+	i := sort.Search(len(b), func(i int) bool {
+		e := &b[i]
+		if e.Local != l {
+			return e.Local > l
+		}
+		if e.Pred != p {
+			return e.Pred > p
+		}
+		return e.To >= o
+	})
+	return i < len(b) && b[i].Local == l && b[i].Pred == p && b[i].To == o
+}
+
+// predGroups returns each shard's (S, O)-sorted group for predicate p
+// (nil-length groups omitted).
+func (ss *ShardSet) predGroups(p ID) [][]Spo {
+	var groups [][]Spo
+	for _, part := range ss.parts {
+		i := sort.Search(len(part.predIDs), func(i int) bool { return part.predIDs[i] >= p })
+		if i == len(part.predIDs) || part.predIDs[i] != p {
+			continue
+		}
+		groups = append(groups, part.predTriples[part.predOff[i]:part.predOff[i+1]])
+	}
+	return groups
+}
+
+// mergeSpoGroups streams the union of (S, O)-sorted groups in global
+// (S, O) order (subjects partition by shard, so heads never tie). It
+// returns false when fn stopped the iteration.
+func mergeSpoGroups(groups [][]Spo, fn func(Spo) bool) bool {
+	for {
+		best := -1
+		for i, gr := range groups {
+			if len(gr) == 0 {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			a, b := gr[0], groups[best][0]
+			if a.S < b.S || (a.S == b.S && a.O < b.O) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return true
+		}
+		spo := groups[best][0]
+		groups[best] = groups[best][1:]
+		if !fn(spo) {
+			return false
+		}
+	}
+}
+
+// PredCount returns the number of triples using predicate p.
+func (ss *ShardSet) PredCount(p ID) int {
+	n := 0
+	for _, gr := range ss.predGroups(p) {
+		n += len(gr)
+	}
+	return n
+}
+
+// NumPredicates returns the number of distinct predicates.
+func (ss *ShardSet) NumPredicates() int { return len(ss.predIDs) }
+
+// Match mirrors Snapshot.Match exactly — same dispatch, same sorted
+// iteration order — with every bound position resolved inside the owning
+// shard and predicate-major scans k-way-merged back into global order.
+func (ss *ShardSet) Match(s, p, o ID, fn func(Spo) bool) {
+	faultpoint.Hit(faultpoint.StoreMatch)
+	switch {
+	case s != Any && p != Any && o != Any:
+		if ss.Has(s, p, o) {
+			fn(Spo{s, p, o})
+		}
+	case s != Any:
+		span := ss.outSpan(s)
+		if p != Any {
+			span = predSpan(span, p)
+		}
+		for _, e := range span {
+			if o != Any && e.To != o {
+				continue
+			}
+			if !fn(Spo{s, e.Pred, e.To}) {
+				return
+			}
+		}
+	case o != Any:
+		span := ss.inSpan(o)
+		if p != Any {
+			span = predSpan(span, p)
+		}
+		for _, e := range span {
+			if !fn(Spo{e.To, e.Pred, o}) {
+				return
+			}
+		}
+	case p != Any:
+		mergeSpoGroups(ss.predGroups(p), fn)
+	default:
+		for _, pid := range ss.predIDs {
+			if !mergeSpoGroups(ss.predGroups(pid), fn) {
+				return
+			}
+		}
+	}
+}
+
+// Count returns the number of triples matching the pattern.
+func (ss *ShardSet) Count(s, p, o ID) int {
+	n := 0
+	ss.Match(s, p, o, func(Spo) bool { n++; return true })
+	return n
+}
+
+func (ss *ShardSet) role(v ID) uint8 {
+	part := ss.parts[int(v)%ss.k]
+	l := int(v) / ss.k
+	if l >= len(part.roles) {
+		return 0
+	}
+	return part.roles[l]
+}
+
+// IsClass reports whether v was classified as a class at its shard's
+// build time.
+func (ss *ShardSet) IsClass(v ID) bool { return ss.role(v)&roleClass != 0 }
+
+// IsEntity reads the owning shard's precomputed role bitmap.
+func (ss *ShardSet) IsEntity(v ID) bool { return ss.role(v)&roleEntity != 0 }
+
+// Entities returns all entity vertex IDs ascending (a private copy of
+// the merged per-shard lists).
+func (ss *ShardSet) Entities() []ID {
+	if len(ss.entities) == 0 {
+		return nil
+	}
+	return append([]ID(nil), ss.entities...)
+}
+
+// Stats returns the assembly-time summary statistics.
+func (ss *ShardSet) Stats() Stats { return ss.stats }

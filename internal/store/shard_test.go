@@ -1,0 +1,277 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gqa/internal/obs"
+	"gqa/internal/rdf"
+)
+
+// collectExact gathers a Match iteration without sorting — the ShardSet's
+// order contract is that every scan streams in exactly the monolithic
+// snapshot's order, not merely the same set.
+func collectExact(match func(s, p, o ID, fn func(Spo) bool), s, p, o ID) []Spo {
+	var out []Spo
+	match(s, p, o, func(t Spo) bool { out = append(out, t); return true })
+	return out
+}
+
+// TestShardSetEquivalence pins the order-identity contract: every ShardSet
+// read returns exactly what the monolithic Snapshot returns, in the same
+// order, across random graphs and shard counts (including k > number of
+// vertices in some shards).
+func TestShardSetEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		for _, k := range []int{2, 3, 8} {
+			r := rand.New(rand.NewSource(seed))
+			g := randomRichGraph(r)
+			sn := buildSnapshot(g, g.gen.Load())
+
+			g.SetShards(k)
+			if g.Freeze() != nil {
+				t.Fatalf("seed %d k %d: sharded Freeze returned a monolithic snapshot", seed, k)
+			}
+			ss, ok := g.FrozenView().(*ShardSet)
+			if !ok {
+				t.Fatalf("seed %d k %d: FrozenView is %T, want *ShardSet", seed, k, g.FrozenView())
+			}
+
+			if ss.NumTerms() != sn.NumTerms() || ss.NumTriples() != sn.NumTriples() {
+				t.Fatalf("seed %d k %d: sizes diverge", seed, k)
+			}
+			if ss.NumPredicates() != sn.NumPredicates() {
+				t.Fatalf("seed %d k %d: NumPredicates %d, want %d", seed, k, ss.NumPredicates(), sn.NumPredicates())
+			}
+			if !reflect.DeepEqual(ss.Stats(), sn.Stats()) {
+				t.Fatalf("seed %d k %d: Stats %+v, want %+v", seed, k, ss.Stats(), sn.Stats())
+			}
+			if !reflect.DeepEqual(ss.Entities(), sn.Entities()) {
+				t.Fatalf("seed %d k %d: Entities diverge", seed, k)
+			}
+			if ss.TypeID() != sn.TypeID() {
+				t.Fatalf("seed %d k %d: TypeID diverges", seed, k)
+			}
+
+			n := ID(g.NumTerms())
+			preds := make([]ID, 0, 8)
+			for v := ID(0); v < n; v++ {
+				if g.Term(v).IsIRI() {
+					preds = append(preds, v)
+				}
+			}
+			for v := ID(0); v < n; v++ {
+				if !reflect.DeepEqual(ss.Out(v), sn.Out(v)) {
+					t.Fatalf("seed %d k %d: Out(%d) diverges", seed, k, v)
+				}
+				if !reflect.DeepEqual(ss.In(v), sn.In(v)) {
+					t.Fatalf("seed %d k %d: In(%d) diverges", seed, k, v)
+				}
+				if ss.Degree(v) != sn.Degree(v) {
+					t.Fatalf("seed %d k %d: Degree(%d) diverges", seed, k, v)
+				}
+				if ss.IsEntity(v) != sn.IsEntity(v) || ss.IsClass(v) != sn.IsClass(v) {
+					t.Fatalf("seed %d k %d: roles diverge at %d", seed, k, v)
+				}
+				for _, p := range preds {
+					if !reflect.DeepEqual(ss.OutPred(v, p), sn.OutPred(v, p)) {
+						t.Fatalf("seed %d k %d: OutPred(%d,%d) diverges", seed, k, v, p)
+					}
+					if !reflect.DeepEqual(ss.InPred(v, p), sn.InPred(v, p)) {
+						t.Fatalf("seed %d k %d: InPred(%d,%d) diverges", seed, k, v, p)
+					}
+					if ss.HasAdjacentPred(v, p) != sn.HasAdjacentPred(v, p) {
+						t.Fatalf("seed %d k %d: HasAdjacentPred(%d,%d) diverges", seed, k, v, p)
+					}
+					if ss.PredCount(p) != sn.PredCount(p) {
+						t.Fatalf("seed %d k %d: PredCount(%d) diverges", seed, k, p)
+					}
+				}
+			}
+
+			// Has across random triples, hitting both the intra-shard span
+			// search and the cross-shard boundary index, present and absent.
+			for i := 0; i < 400; i++ {
+				s, p, o := ID(r.Intn(int(n))), ID(r.Intn(int(n))), ID(r.Intn(int(n)))
+				if ss.Has(s, p, o) != sn.Has(s, p, o) {
+					t.Fatalf("seed %d k %d: Has(%d,%d,%d) = %v, want %v",
+						seed, k, s, p, o, ss.Has(s, p, o), sn.Has(s, p, o))
+				}
+			}
+			for v := ID(0); v < n; v++ {
+				for _, e := range sn.Out(v) {
+					if !ss.Has(v, e.Pred, e.To) {
+						t.Fatalf("seed %d k %d: present triple (%d,%d,%d) missing", seed, k, v, e.Pred, e.To)
+					}
+				}
+			}
+
+			// Match under every binding shape, exact iteration order.
+			patterns := [][3]ID{
+				{Any, Any, Any},
+			}
+			for i := 0; i < 30; i++ {
+				s, p, o := ID(r.Intn(int(n))), ID(r.Intn(int(n))), ID(r.Intn(int(n)))
+				patterns = append(patterns,
+					[3]ID{s, p, o}, [3]ID{s, p, Any}, [3]ID{s, Any, o}, [3]ID{s, Any, Any},
+					[3]ID{Any, p, o}, [3]ID{Any, p, Any}, [3]ID{Any, Any, o})
+			}
+			for _, pat := range patterns {
+				got := collectExact(ss.Match, pat[0], pat[1], pat[2])
+				want := collectExact(sn.Match, pat[0], pat[1], pat[2])
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d k %d: Match(%v) order/content diverges:\n got %v\nwant %v",
+						seed, k, pat, got, want)
+				}
+			}
+
+			// Early-stop parity: stopping after one triple must not panic
+			// and must surface the same first triple.
+			var first, firstSn []Spo
+			ss.Match(Any, Any, Any, func(t Spo) bool { first = append(first, t); return false })
+			sn.Match(Any, Any, Any, func(t Spo) bool { firstSn = append(firstSn, t); return false })
+			if !reflect.DeepEqual(first, firstSn) {
+				t.Fatalf("seed %d k %d: first streamed triple diverges", seed, k)
+			}
+		}
+	}
+}
+
+// TestShardDeltaOverlay pins the incremental re-freeze: after one
+// intra-shard Add, exactly the dirtied shard rebuilds and every clean
+// shard's part pointer is reused verbatim.
+func TestShardDeltaOverlay(t *testing.T) {
+	const k = 4
+	g := New()
+	p := g.Intern(rdf.Ontology("p"))
+	verts := make([]ID, 40)
+	for i := range verts {
+		verts[i] = g.Intern(rdf.Resource(fmt.Sprintf("v%d", i)))
+	}
+	for i := 0; i+1 < len(verts); i++ {
+		g.AddSPO(verts[i], p, verts[i+1])
+	}
+	g.SetShards(k)
+	g.Freeze()
+	ss1 := g.FrozenView().(*ShardSet)
+
+	// Clean re-freeze: the whole set is the same pointer.
+	g.Freeze()
+	if g.FrozenView().(*ShardSet) != ss1 {
+		t.Fatal("clean Freeze rebuilt the ShardSet")
+	}
+
+	// Pick an intra-shard pair not already connected.
+	var s, o ID
+	found := false
+	for i := 0; i < len(verts) && !found; i++ {
+		for j := 0; j < len(verts); j++ {
+			if i == j || int(verts[i])%k != int(verts[j])%k || g.Has(verts[i], p, verts[j]) {
+				continue
+			}
+			s, o, found = verts[i], verts[j], true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no intra-shard pair available")
+	}
+	before := obs.DefaultCounter("gqa_store_shard_freezes_total", "").Value()
+	g.AddSPO(s, p, o)
+	g.Freeze()
+	ss2 := g.FrozenView().(*ShardSet)
+	if rebuilt := obs.DefaultCounter("gqa_store_shard_freezes_total", "").Value() - before; rebuilt != 1 {
+		t.Fatalf("re-freeze rebuilt %d shards, want 1", rebuilt)
+	}
+	dirty := int(s) % k
+	for i := 0; i < k; i++ {
+		if i == dirty {
+			if ss2.parts[i] == ss1.parts[i] {
+				t.Fatalf("dirty shard %d was not rebuilt", i)
+			}
+			continue
+		}
+		if ss2.parts[i] != ss1.parts[i] {
+			t.Fatalf("clean shard %d was rebuilt", i)
+		}
+	}
+	if !ss2.Has(s, p, o) {
+		t.Fatal("new triple missing from re-frozen set")
+	}
+	// The handed-out pre-mutation set still answers pre-mutation reads.
+	if ss1.Has(s, p, o) {
+		t.Fatal("pre-mutation ShardSet sees the new triple")
+	}
+
+	// A cross-shard Add dirties both endpoint shards.
+	var cs, co ID
+	found = false
+	for i := 0; i < len(verts) && !found; i++ {
+		for j := 0; j < len(verts); j++ {
+			if int(verts[i])%k == int(verts[j])%k || g.Has(verts[i], p, verts[j]) {
+				continue
+			}
+			cs, co, found = verts[i], verts[j], true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no cross-shard pair available")
+	}
+	before = obs.DefaultCounter("gqa_store_shard_freezes_total", "").Value()
+	g.AddSPO(cs, p, co)
+	g.Freeze()
+	if rebuilt := obs.DefaultCounter("gqa_store_shard_freezes_total", "").Value() - before; rebuilt != 2 {
+		t.Fatalf("cross-shard re-freeze rebuilt %d shards, want 2", rebuilt)
+	}
+}
+
+// TestShardGenKey pins the cache-key component: unsharded keys keep the
+// "g<gen>" form; sharded keys append the per-shard generation vector and
+// move only on the dirtied shards.
+func TestShardGenKey(t *testing.T) {
+	g := New()
+	p := g.Intern(rdf.Ontology("p"))
+	a := g.Intern(rdf.Resource("a"))
+	b := g.Intern(rdf.Resource("b"))
+	if k := g.GenKey(); strings.Contains(k, ":") {
+		t.Fatalf("unsharded GenKey %q has a shard vector", k)
+	}
+	g.SetShards(2)
+	k1 := g.GenKey()
+	if !strings.Contains(k1, ":") {
+		t.Fatalf("sharded GenKey %q lacks a shard vector", k1)
+	}
+	g.AddSPO(a, p, b)
+	k2 := g.GenKey()
+	if k1 == k2 {
+		t.Fatal("GenKey did not change after a mutation")
+	}
+	if got, want := len(g.GenVector()), 3; got != want {
+		t.Fatalf("GenVector length %d, want %d", got, want)
+	}
+}
+
+// TestShardBoundaryIndex checks the boundary metric and that the index
+// covers exactly the cross-shard out-edges.
+func TestShardBoundaryIndex(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	g := randomRichGraph(r)
+	g.SetShards(4)
+	g.Freeze()
+	ss := g.FrozenView().(*ShardSet)
+	want := 0
+	for v := ID(0); v < ID(g.NumTerms()); v++ {
+		for _, e := range ss.Out(v) {
+			if int(e.To)%4 != int(v)%4 {
+				want++
+			}
+		}
+	}
+	if got := ss.BoundaryEdges(); got != want {
+		t.Fatalf("BoundaryEdges %d, want %d", got, want)
+	}
+}

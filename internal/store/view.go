@@ -1,0 +1,81 @@
+package store
+
+// View is the read-only frozen query surface shared by the monolithic
+// Snapshot and the sharded ShardSet. Every hot read the online pipeline
+// performs — pattern scans, neighborhood pruning, per-predicate degrees,
+// role tests — goes through this interface when the graph is frozen, so
+// the matcher, the SPARQL evaluator, dict.FollowPath, and the linker are
+// agnostic to whether the graph froze into one CSR or K vertex-hash
+// shards. Both implementations return identical results in identical
+// order: a ShardSet's per-vertex spans are the same (Pred, To)-sorted
+// runs a Snapshot holds, and its predicate-major scans k-way-merge the
+// per-shard (S, O)-sorted groups back into the global sorted order
+// (subjects partition by shard, so the merge is exact). That order
+// identity is what makes K=1 and K=8 answers byte-identical.
+//
+// A View is immutable and fully self-contained: like a handed-out
+// Snapshot, it stays a valid pre-mutation read surface forever, even
+// while the mutable Graph is concurrently mutated.
+
+import "gqa/internal/rdf"
+
+// View is implemented by *Snapshot and *ShardSet.
+type View interface {
+	// Generation is the graph mutation generation the view was built at.
+	Generation() uint64
+	// NumTerms and NumTriples are the dictionary and triple counts at
+	// freeze time.
+	NumTerms() int
+	NumTriples() int
+	// Term returns the term for id (IDs are stable across freezes).
+	Term(id ID) rdf.Term
+	// Match calls fn for every triple matching the (s, p, o) pattern in
+	// (Pred, To)- / (S, O)-sorted order, stopping early when fn returns
+	// false.
+	Match(s, p, o ID, fn func(Spo) bool)
+	// Has reports whether the triple is present.
+	Has(s, p, o ID) bool
+	// HasAdjacentPred reports whether v has any incident edge (either
+	// direction) labeled p — the §4.2.2 pruning test.
+	HasAdjacentPred(v, p ID) bool
+	// OutPred and InPred return v's per-predicate edge runs sorted by To
+	// (for InPred, Edge.To is the subject of the underlying triple).
+	OutPred(v, p ID) []Edge
+	InPred(v, p ID) []Edge
+	// Per-predicate and total degrees.
+	OutPredDegree(v, p ID) int
+	InPredDegree(v, p ID) int
+	OutDegree(v ID) int
+	InDegree(v ID) int
+	Degree(v ID) int
+	// Role bitmap reads.
+	IsEntity(v ID) bool
+	IsClass(v ID) bool
+	// Entities returns all entity vertex IDs ascending (a private copy).
+	Entities() []ID
+	// Stats returns the freeze-time Table-4 summary.
+	Stats() Stats
+	// TypeID returns the interned ID of rdf:type, or None.
+	TypeID() ID
+}
+
+// TypeID returns the interned ID of rdf:type at freeze time, or None.
+func (sn *Snapshot) TypeID() ID { return sn.rdfType }
+
+// FrozenView returns the graph's current frozen read surface: the
+// installed ShardSet when the graph is sharded (SetShards), the installed
+// Snapshot otherwise, or nil when the graph has mutated since the last
+// freeze (callers then fall back to the mutable structures, exactly as
+// with Frozen).
+func (g *Graph) FrozenView() View {
+	if g.shardK > 1 {
+		if ss := g.shards.Load(); ss != nil {
+			return ss
+		}
+		return nil
+	}
+	if sn := g.snap.Load(); sn != nil {
+		return sn
+	}
+	return nil
+}
