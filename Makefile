@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race fuzz fuzz-seeds bench bench-store bench-cache bench-serve bench-coldstart bench-obs bench-shard serve-smoke serve-sweep-smoke snapshot-smoke flight-smoke shard-smoke
+.PHONY: tier1 vet build test race fuzz fuzz-seeds bench bench-store bench-cache bench-serve bench-coldstart bench-obs bench-shard bench-shard-rpc serve-smoke serve-sweep-smoke snapshot-smoke flight-smoke shard-smoke shard-rpc-smoke
 
-tier1: vet build race fuzz-seeds serve-sweep-smoke snapshot-smoke flight-smoke shard-smoke
+tier1: vet build race fuzz-seeds serve-sweep-smoke snapshot-smoke flight-smoke shard-smoke shard-rpc-smoke
 
 vet:
 	$(GO) vet ./...
@@ -101,6 +101,14 @@ flight-smoke:
 shard-smoke:
 	$(GO) test -run TestShardSmokeBinary -v ./internal/serve
 
+# Multi-process sharding smoke (tier-1): export 4 GQASHR1 shard parts
+# with gqa-gen, boot 4 real gqa-shard servers plus a gqa-serve
+# coordinator with -shard-addrs, require one known answer over HTTP (the
+# frozen reads crossing the process boundary), the gqa_rpc_* series on
+# /metrics, and a clean SIGTERM shutdown of the whole topology.
+shard-rpc-smoke:
+	$(GO) test -run TestShardRPCSmokeBinary -v ./internal/serve
+
 # Sharded-matching benchmark: K ∈ {1,2,4,8} sweep over the matcher
 # workload (identity to K=1 is the acceptance gate, not speedup, so the
 # result is meaningful on single-core boxes too), plus the incremental
@@ -108,6 +116,14 @@ shard-smoke:
 # Add) on the 20k synthetic graph, recorded in BENCH_shard.json.
 bench-shard:
 	$(GO) run ./cmd/gqa-bench -exp shard -json BENCH_shard.json
+
+# Multi-process sharding benchmark: the in-process K=4 ShardSet vs the
+# same shards served over loopback shard-RPC servers, over the whole
+# benchmark workload, recorded in BENCH_shardrpc.json (identity.pass —
+# byte-identical answers across the process boundary — is the gate; the
+# p50/p99 delta is the price of the wire).
+bench-shard-rpc:
+	$(GO) run ./cmd/gqa-bench -exp shardrpc -json BENCH_shardrpc.json
 
 # Flight-recorder overhead benchmark: the full traced pipeline with the
 # recorder on vs off (best-of interleaved reps), plus the benchmark-asserted

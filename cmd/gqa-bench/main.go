@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"reflect"
 	"runtime"
@@ -67,6 +68,7 @@ func main() {
 		{"parallel", parallelExp, "seq-vs-par top-k matcher speedup"},
 		{"store", storeExp, "frozen CSR snapshot vs mutable adjacency store"},
 		{"shard", shardExp, "sharded scatter-gather matching: K sweep, identity, incremental re-freeze"},
+		{"shardrpc", shardrpcExp, "multi-process sharding: in-process K=4 vs RPC over loopback shard servers"},
 		{"coldstart", coldstartExp, "boot-time comparison: N-Triples parse vs GQASNAP1 vs GQAFRZ1"},
 		{"cache", cacheExp, "answer cache: cold vs warm vs coalesced latency"},
 		{"serve", serveExp, "overload sweep: admission control, shedding, latency curve over a live listener"},
@@ -902,6 +904,125 @@ func shardExp() {
 	report.Accept.RefreezeOneShard = oneShardOnly
 	report.Accept.RefreezeAtLeast4 = refreezeSpeedup >= 4
 	report.Accept.NumCPU = runtime.NumCPU()
+	if *jsonPath != "" {
+		report.Metrics = obs.Default.Snapshot()
+		writeJSON(*jsonPath, report)
+	}
+}
+
+// ---------------------------------------------------------------- shardrpc
+
+// shardrpcExp compares the in-process K=4 ShardSet against the same four
+// shards served over the RPC boundary (loopback ShardServers, the exact
+// wire path of a gqa-shard deployment), over the whole benchmark
+// workload. The identity gate — byte-identical answers, Explain lines,
+// and MatchStats across the boundary — is the acceptance criterion; the
+// p50/p99 delta is the price of the wire. With -json PATH the comparison
+// is written as the BENCH_shardrpc.json artifact.
+func shardrpcExp() {
+	const (
+		k    = 4
+		reps = 5
+	)
+	// Export the shard parts through the GQASHR1 format and serve them.
+	gExp := must(bench.BuildKB())
+	gExp.SetShards(k)
+	gExp.Freeze()
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		var buf bytes.Buffer
+		if err := store.SaveShardPart(&buf, gExp, i); err != nil {
+			must(0, err)
+		}
+		part := must(store.LoadShardPart(bytes.NewReader(buf.Bytes())))
+		ln := must(net.Listen("tcp", "127.0.0.1:0"))
+		srv := store.NewShardServer(part)
+		go srv.Serve(ln) //nolint:errcheck
+		defer srv.Close()
+		addrs[i] = ln.Addr().String()
+	}
+
+	buildSys := func(shards int) *core.System {
+		g := must(bench.BuildKB())
+		d, _, err := bench.BuildDictionary(g)
+		if err != nil {
+			must(0, err)
+		}
+		if shards > 1 {
+			g.SetShards(shards)
+		}
+		g.Freeze()
+		return core.NewSystem(g, d, core.Options{TopK: 10})
+	}
+	local := buildSys(k)
+	remote := buildSys(1)
+	rss := must(store.DialShards(addrs, remote.Graph.Terms(), store.RemoteOptions{}))
+	defer rss.Close()
+	remote.Graph.SetRemoteView(rss)
+
+	fingerprint := func(sys *core.System, res *core.Result) string {
+		var b bytes.Buffer
+		for _, l := range res.AnswerLabels(sys.Graph) {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+		for i := range res.Matches {
+			b.WriteString(core.RenderMatch(sys.Graph, res.Query, &res.Matches[i]))
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%+v", res.Stats)
+		return b.String()
+	}
+
+	qs := bench.Workload()
+	pass := true
+	var localNs, remoteNs []int64
+	for _, q := range qs {
+		lres := must(local.Answer(q.Text))
+		rres := must(remote.Answer(q.Text))
+		if rres.Degraded != "" || fingerprint(local, lres) != fingerprint(remote, rres) {
+			pass = false
+			fmt.Printf("IDENTITY FAILURE %q (degraded=%q)\n", q.Text, rres.Degraded)
+		}
+	}
+	for r := 0; r < reps; r++ {
+		for _, q := range qs {
+			start := time.Now()
+			must(local.Answer(q.Text))
+			localNs = append(localNs, time.Since(start).Nanoseconds())
+			start = time.Now()
+			must(remote.Answer(q.Text))
+			remoteNs = append(remoteNs, time.Since(start).Nanoseconds())
+		}
+	}
+	pctl := func(ns []int64, p float64) int64 {
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		i := int(p * float64(len(ns)-1))
+		return ns[i]
+	}
+	lp50, lp99 := pctl(localNs, 0.50), pctl(localNs, 0.99)
+	rp50, rp99 := pctl(remoteNs, 0.50), pctl(remoteNs, 0.99)
+	fmt.Printf("questions=%d reps=%d shards=%d\n", len(qs), reps, k)
+	fmt.Printf("topology       p50/question  p99/question\n")
+	fmt.Printf("in-process     %-13s %s\n", time.Duration(lp50).Round(time.Microsecond), time.Duration(lp99).Round(time.Microsecond))
+	fmt.Printf("rpc-loopback   %-13s %s\n", time.Duration(rp50).Round(time.Microsecond), time.Duration(rp99).Round(time.Microsecond))
+	fmt.Printf("identity: pass=%v (byte-identical answers, explains, stats across the RPC boundary)\n", pass)
+
+	report := struct {
+		Shards    int   `json:"shards"`
+		Questions int   `json:"questions"`
+		Reps      int   `json:"reps"`
+		LocalP50  int64 `json:"local_p50_ns"`
+		LocalP99  int64 `json:"local_p99_ns"`
+		RemoteP50 int64 `json:"remote_p50_ns"`
+		RemoteP99 int64 `json:"remote_p99_ns"`
+		Accept    struct {
+			Pass bool `json:"pass"`
+		} `json:"identity"`
+		Metrics map[string]any `json:"metrics"`
+	}{Shards: k, Questions: len(qs), Reps: reps,
+		LocalP50: lp50, LocalP99: lp99, RemoteP50: rp50, RemoteP99: rp99}
+	report.Accept.Pass = pass
 	if *jsonPath != "" {
 		report.Metrics = obs.Default.Snapshot()
 		writeJSON(*jsonPath, report)

@@ -7,6 +7,7 @@
 //	gqa-gen kb [-o kb.nt]                          # the curated mini-DBpedia
 //	gqa-gen snapshot [-o kb.snap]                  # same KB, binary snapshot
 //	gqa-gen frozen [-o kb.frz]                     # same KB, GQAFRZ1 frozen snapshot
+//	gqa-gen frozen -shard s/K [-o kb.s.shard]      # one GQASHR1 shard part for gqa-shard
 //	gqa-gen phrases [-o phrases.tsv]               # its phrase support file
 //	gqa-gen synth [-entities N] [-degree D] [-preds P] [-seed S] [-frozen] [-o g.nt]
 //	gqa-gen synthphrases [-phrases N] [-support M] [-goldfrac F] ...
@@ -44,6 +45,7 @@ func main() {
 	support := fs.Int("support", 10, "support pairs per phrase")
 	goldfrac := fs.Float64("goldfrac", 1.0, "per-hop extraction quality")
 	frozen := fs.Bool("frozen", false, "emit a GQAFRZ1 frozen snapshot instead of N-Triples (synth)")
+	shard := fs.String("shard", "", `export one shard part as "s/K" (frozen; emits a GQASHR1 file for gqa-shard)`)
 	fs.Parse(os.Args[2:])
 
 	w := bufio.NewWriter(os.Stdout)
@@ -76,6 +78,19 @@ func main() {
 		g, err := bench.BuildKB()
 		if err != nil {
 			die(err)
+		}
+		if *shard != "" {
+			s, k, err := parseShardSpec(*shard)
+			if err != nil {
+				die(err)
+			}
+			if eff := g.SetShards(k); eff != k {
+				die(fmt.Errorf("graph too small for %d shards (clamped to %d)", k, eff))
+			}
+			if err := store.SaveShardPart(w, g, s); err != nil {
+				die(err)
+			}
+			break
 		}
 		if err := store.SaveFrozen(w, g); err != nil {
 			die(err)
@@ -112,6 +127,17 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// parseShardSpec parses "s/K" (shard s of K, 0 <= s < K, K >= 2).
+func parseShardSpec(spec string) (s, k int, err error) {
+	if _, err := fmt.Sscanf(spec, "%d/%d", &s, &k); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want \"s/K\", e.g. 0/4)", spec)
+	}
+	if k < 2 || s < 0 || s >= k {
+		return 0, 0, fmt.Errorf("bad -shard %q: need 0 <= s < K and K >= 2", spec)
+	}
+	return s, k, nil
 }
 
 func usage() {

@@ -7,6 +7,7 @@
 //
 //	gqa-serve [-addr host:port] [-graph graph.nt -dict dict.tsv]
 //	          [-snapshot path.frz] [-shards K]
+//	          [-shard-addrs host:p0,host:p1,...]
 //	          [-aggregate] [-parallel N] [-timeout d]
 //	          [-cache N] [-max-question N]
 //	          [-max-inflight N] [-max-queue N]
@@ -88,6 +89,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -104,6 +106,7 @@ func main() {
 	dictPath := flag.String("dict", "", "paraphrase dictionary file (gqa-mine output)")
 	snapPath := flag.String("snapshot", "", "GQAFRZ1 frozen snapshot: load on boot when valid, else rebuild and save here")
 	shards := flag.Int("shards", 0, "partition the frozen store into K vertex-hash shards (0 or 1 = monolithic)")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated gqa-shard addresses in shard order: serve frozen reads from remote shard servers")
 	aggregate := flag.Bool("aggregate", false, "enable the counting/superlative extension")
 	parallel := flag.Int("parallel", 0, "matcher worker goroutines per question (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 5*time.Second, "wall-clock budget per question (0 = unlimited)")
@@ -129,6 +132,27 @@ func main() {
 	sys.SetCache(*cacheSize)
 	if *shards > 1 {
 		sys.SetShards(*shards)
+	}
+	if *shardAddrs != "" {
+		// Multi-process sharding: the coordinator keeps the local graph for
+		// the dictionary, linker, and term table, but serves every frozen
+		// read from the remote shard servers. A failure here is fatal — a
+		// coordinator that cannot reach its shards cannot answer anything.
+		addrs := strings.Split(*shardAddrs, ",")
+		g := sys.Graph()
+		rss, err := store.DialShards(addrs, g.Terms(), store.RemoteOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gqa-serve:", err)
+			os.Exit(1)
+		}
+		defer rss.Close()
+		if rss.Generation() != g.Generation() {
+			fmt.Fprintf(os.Stderr, "gqa-serve: shard servers froze generation %d, local graph is at %d — re-export the shard parts\n",
+				rss.Generation(), g.Generation())
+			os.Exit(1)
+		}
+		g.SetRemoteView(rss)
+		log.Printf("gqa-serve: serving frozen reads from %d remote shards (%s)", rss.NumShards(), *shardAddrs)
 	}
 
 	// The flight recorder is always on (bounded memory, zero steady-state

@@ -72,7 +72,9 @@ type Options struct {
 	// groups and gathers at the round barrier. Answers, explain output, and
 	// match statistics are byte-identical at every shard count; what
 	// changes is incremental cost — a mutation re-freezes only the shards
-	// it touched. Zero or one keeps the monolithic snapshot.
+	// it touched. Zero or one keeps the monolithic snapshot; negative
+	// values are treated as zero, and counts above the vertex count are
+	// clamped to it (empty residue classes would only add merge overhead).
 	Shards int
 	// Budget bounds the resources each Answer/Query call may consume
 	// (wall-clock timeout, search steps, candidate expansions, SPARQL
@@ -159,11 +161,14 @@ func (s *System) SetParallelism(p int) { s.core.Opts.Parallelism = p }
 // Options.Shards; k ≤ 1 restores the monolithic snapshot) and freezes at
 // the new layout so the first question pays no freeze. The binaries use it
 // to honor their -shards flag over systems built with default options.
-// Answers are byte-identical at every shard count. Not safe to call
+// Answers are byte-identical at every shard count. The requested count is
+// validated like Options.Shards (negative → monolithic, clamped to the
+// vertex count); the effective count is returned. Not safe to call
 // concurrently with Answer.
-func (s *System) SetShards(k int) {
-	s.graph.SetShards(k)
+func (s *System) SetShards(k int) int {
+	k = s.graph.SetShards(k)
 	s.graph.Freeze()
+	return k
 }
 
 // SetCache replaces the answer cache with a fresh one holding up to

@@ -33,6 +33,10 @@ const (
 	ReasonSteps      = "steps"      // search/join step limit hit
 	ReasonCandidates = "candidates" // candidate-expansion limit hit
 	ReasonRows       = "rows"       // SPARQL row limit hit
+	// ReasonShard marks a request whose remote shard reads failed after
+	// retries (a shard server down or unreachable mid-round). The search
+	// degrades to the best partial result, exactly like a deadline trip.
+	ReasonShard = "shard-unavailable"
 )
 
 // Interned reason values so exhaustion never allocates on the hot path.
@@ -42,6 +46,7 @@ var (
 	reasonSteps      = ReasonSteps
 	reasonCandidates = ReasonCandidates
 	reasonRows       = ReasonRows
+	reasonShard      = ReasonShard
 )
 
 // Limits bounds one unit of work. The zero value means unlimited.
@@ -102,6 +107,30 @@ func New(ctx context.Context, l Limits) *Tracker {
 // fail records the exhaustion reason; the first caller wins.
 func (t *Tracker) fail(reason *string) {
 	t.reason.CompareAndSwap(nil, reason)
+}
+
+// FailShardUnavailable records a remote-shard failure as the exhaustion
+// reason (first exhaustion still wins — a request that already tripped
+// its deadline stays "deadline"). The shard-RPC client calls this after
+// its retries are spent, so the degradation surfaces through the same
+// MatchStats.Truncated → Answer.Degraded path as every budget trip.
+// Safe on the nil tracker (no-op — an unbudgeted caller still gets empty
+// reads, never a hang).
+func (t *Tracker) FailShardUnavailable() {
+	if t == nil {
+		return
+	}
+	t.fail(&reasonShard)
+}
+
+// Deadline reports the tracker's wall-clock deadline, when one is set.
+// The shard-RPC client derives per-call deadlines from it (a call never
+// outlives the request it serves). The nil tracker has none.
+func (t *Tracker) Deadline() (time.Time, bool) {
+	if t == nil {
+		return time.Time{}, false
+	}
+	return t.deadline, t.hasDeadline
 }
 
 // Step records one unit of search work and reports whether the budget

@@ -211,8 +211,14 @@ func FindTopKMatches(g *store.Graph, q *QueryGraph, opts MatchOptions) ([]Match,
 	if view == nil {
 		view = g.FrozenView()
 	}
+	// A remote view binds to this request so its RPC calls inherit the
+	// request budget's deadline and failures degrade (never hang) the
+	// search; in-process views are unaffected.
+	if rb, ok := view.(store.RequestBindable); ok {
+		view = rb.BindRequest(opts.Budget, opts.Span)
+	}
 	m := &matcher{g: g, view: view, q: q, opts: opts, res: newResultSet(opts.MaxMatches)}
-	if ss, ok := view.(*store.ShardSet); ok && ss.NumShards() > 1 {
+	if ss, ok := view.(store.ShardedView); ok && ss.NumShards() > 1 {
 		m.shardRounds = make([]int, ss.NumShards())
 	}
 	m.statePool.New = func() any { return newSearchState(len(q.Vertices), len(q.Edges)) }
@@ -310,6 +316,13 @@ func (m *matcher) finishStats(stats *MatchStats, returned int) {
 	stats.MatchesFound = m.res.attempts.Load()
 	stats.MatchesKept = int(m.res.count.Load())
 	stats.Truncated = m.opts.Budget.Exhausted()
+	if stats.Truncated == "" {
+		// An unbudgeted request has no tracker to trip, but a bound remote
+		// view still knows its reads failed — surface the degradation.
+		if dr, ok := m.view.(store.DegradeReporter); ok {
+			stats.Truncated = dr.DegradeReason()
+		}
+	}
 
 	matchRoundsTotal.Add(int64(stats.Rounds))
 	matchSeedsTotal.Add(stats.Seeds)
@@ -352,6 +365,12 @@ func (m *matcher) finishStats(stats *MatchStats, returned int) {
 		}
 		sp.SetInt("shard_fanout", int64(fanout))
 		sp.SetStr("shard_rounds", b.String())
+	}
+	// A bound remote view flushes its per-request RPC counters here
+	// (rpc_calls / rpc_retries / rpc_hedges / rpc_errors); the flight
+	// recorder lifts them into the wide event.
+	if ann, ok := m.view.(store.SpanAnnotator); ok {
+		ann.AnnotateSpan(sp)
 	}
 }
 
@@ -495,7 +514,7 @@ func (m *matcher) runTasks(tasks []seedTask) {
 		}
 		return
 	}
-	if ss, ok := m.view.(*store.ShardSet); ok && ss.NumShards() > 1 && len(tasks) > 1 {
+	if ss, ok := m.view.(store.ShardedView); ok && ss.NumShards() > 1 && len(tasks) > 1 {
 		m.runTasksSharded(ss.NumShards(), tasks, p)
 		return
 	}

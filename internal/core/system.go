@@ -37,6 +37,7 @@ var (
 		budget.ReasonSteps:      degradedCounter(budget.ReasonSteps),
 		budget.ReasonCandidates: degradedCounter(budget.ReasonCandidates),
 		budget.ReasonRows:       degradedCounter(budget.ReasonRows),
+		budget.ReasonShard:      degradedCounter(budget.ReasonShard),
 	}
 )
 

@@ -20,12 +20,17 @@ const (
 	MatcherWorker = "matcher.worker" // core: each parallel-matcher seed task
 	SparqlEval    = "sparql.eval"    // sparql: each backtracking join step
 	StoreMatch    = "store.match"    // store: each pattern scan
+	RPCDial       = "rpc.dial"       // store: each shard-RPC connection dial (client side)
+	RPCCall       = "rpc.call"       // store: each shard-RPC request served (server side)
 )
 
 // Fault describes what an armed point does on each hit: sleep for Delay,
-// then panic with PanicMsg if non-empty. Either (or both) may be set.
+// then return Err from HitErr if non-nil, then panic with PanicMsg if
+// non-empty. Any combination may be set. Hit ignores Err (error injection
+// only makes sense at points whose caller checks HitErr).
 type Fault struct {
 	Delay    time.Duration
+	Err      error
 	PanicMsg string
 }
 
@@ -45,7 +50,19 @@ func Hit(name string) {
 	hit(name)
 }
 
-func hit(name string) {
+// HitErr fires the named point and returns the armed error, if any — the
+// hook for injection points on fallible paths (the shard-RPC dial and
+// call sites). With nothing armed it costs one atomic load and returns
+// nil; an armed point sleeps, then surfaces Err, then panics, in that
+// order.
+func HitErr(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	return hit(name)
+}
+
+func hit(name string) error {
 	mu.Lock()
 	f, ok := points[name]
 	if ok {
@@ -53,14 +70,18 @@ func hit(name string) {
 	}
 	mu.Unlock()
 	if !ok {
-		return
+		return nil
 	}
 	if f.Delay > 0 {
 		time.Sleep(f.Delay)
 	}
+	if f.Err != nil {
+		return f.Err
+	}
 	if f.PanicMsg != "" {
 		panic("faultpoint " + name + ": " + f.PanicMsg)
 	}
+	return nil
 }
 
 // Set arms the named point (the test hook). Re-arming an armed point

@@ -116,9 +116,16 @@ type Event struct {
 	// seeded; ShardRounds is the per-shard count of TA rounds with at least
 	// one seed, comma-joined ("4,0,3,1"). Both derive from the core.match
 	// span and are zero/empty on a monolithic (unsharded) store.
-	ShardFanout int     `json:"shard_fanout,omitempty"`
-	ShardRounds string  `json:"shard_rounds,omitempty"`
-	Stages      []Stage `json:"stages,omitempty"`
+	ShardFanout int    `json:"shard_fanout,omitempty"`
+	ShardRounds string `json:"shard_rounds,omitempty"`
+	// RPC telemetry from the core.match span when the store is served by
+	// remote shard servers: call attempts, retries after transient
+	// transport errors, and hedged second attempts. All zero (and omitted)
+	// for in-process stores.
+	RPCCalls   int64   `json:"rpc_calls,omitempty"`
+	RPCRetries int64   `json:"rpc_retries,omitempty"`
+	RPCHedges  int64   `json:"rpc_hedges,omitempty"`
+	Stages     []Stage `json:"stages,omitempty"`
 }
 
 // droppedTotal counts wide events discarded because the ingest queue was
@@ -245,6 +252,11 @@ func (r *Recorder) handle(j job) {
 			ev.ShardRounds = srs[len(srs)-1]
 		}
 	}
+	if ev.RPCCalls == 0 {
+		ev.RPCCalls = lastIntAttr(tr, "core.match", "rpc_calls")
+		ev.RPCRetries = lastIntAttr(tr, "core.match", "rpc_retries")
+		ev.RPCHedges = lastIntAttr(tr, "core.match", "rpc_hedges")
+	}
 	if ev.Stages == nil && tr != nil {
 		for _, st := range tr.Stages() {
 			// cache.lookup wraps the whole compute (its duration would
@@ -268,6 +280,17 @@ func (r *Recorder) handle(j job) {
 	}
 	r.store.add(ev, tr, lat)
 	r.writeEvent(ev)
+}
+
+// lastIntAttr returns the last value of attr on spans named span in tr,
+// parsed as an integer, or 0 when absent or unparsable.
+func lastIntAttr(tr *obs.Trace, span, attr string) int64 {
+	vals := tr.FindAttrs(span, attr)
+	if len(vals) == 0 {
+		return 0
+	}
+	n, _ := strconv.ParseInt(vals[len(vals)-1], 10, 64)
+	return n
 }
 
 // Sync blocks until every event enqueued before the call has been fully
@@ -476,6 +499,18 @@ func appendEventJSON(buf []byte, ev *Event) []byte {
 	if ev.ShardRounds != "" {
 		buf = append(buf, `,"shard_rounds":`...)
 		buf = strconv.AppendQuote(buf, ev.ShardRounds)
+	}
+	if ev.RPCCalls > 0 {
+		buf = append(buf, `,"rpc_calls":`...)
+		buf = strconv.AppendInt(buf, ev.RPCCalls, 10)
+	}
+	if ev.RPCRetries > 0 {
+		buf = append(buf, `,"rpc_retries":`...)
+		buf = strconv.AppendInt(buf, ev.RPCRetries, 10)
+	}
+	if ev.RPCHedges > 0 {
+		buf = append(buf, `,"rpc_hedges":`...)
+		buf = strconv.AppendInt(buf, ev.RPCHedges, 10)
 	}
 	if len(ev.Stages) > 0 {
 		buf = append(buf, `,"stages":[`...)

@@ -34,6 +34,7 @@ var knownPackages = map[string]bool{
 	"flight":    true,
 	"linker":    true,
 	"nlp":       true,
+	"rpc":       true,
 	"runtime":   true,
 	"slo":       true,
 	"sparql":    true,
@@ -120,12 +121,21 @@ func TestMetricNamingConvention(t *testing.T) {
 
 	// The sharded-store series are registered at package init (not lazily),
 	// so they must be present — and linted — even on an unsharded run.
+	// Likewise the cache bypass counter (bypasses vanished from hit-rate
+	// math before it existed) and the shard-RPC client series (registered
+	// by internal/store whether or not a remote view is connected).
 	for _, name := range []string{
 		"gqa_store_shard_freezes_total",
 		"gqa_store_shard_boundary_edges_total",
+		"gqa_cache_bypass_total",
+		"gqa_rpc_calls_total",
+		"gqa_rpc_retries_total",
+		"gqa_rpc_hedges_total",
+		"gqa_rpc_errors_total",
+		"gqa_rpc_degraded_total",
 	} {
 		if !strings.Contains(b.String(), "# TYPE "+name+" counter") {
-			t.Errorf("shard metric %s missing from the exposition", name)
+			t.Errorf("metric %s missing from the exposition", name)
 		}
 	}
 }

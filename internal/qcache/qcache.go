@@ -45,6 +45,8 @@ var (
 		"Answer-cache entries evicted by the LRU capacity bound.")
 	coalescedTotal = obs.DefaultCounter("gqa_cache_coalesced_total",
 		"Lookups that shared an in-flight leader's result instead of recomputing.")
+	bypassTotal = obs.DefaultCounter("gqa_cache_bypass_total",
+		"Lookups that ran the computation without touching the cache (disabled cache, or a waiter whose context expired).")
 	entriesGauge = obs.DefaultGauge("gqa_cache_entries",
 		"Answer-cache entries currently stored (refreshed on scrape).")
 )
@@ -170,6 +172,7 @@ func (c *Cache) shard(key string) *shard {
 // see a non-shared flight and retry, so a poisoned key cannot wedge them.
 func (c *Cache) Do(ctx context.Context, key string, compute func() (val any, cacheable bool, err error)) (any, Outcome, error) {
 	if c == nil {
+		bypassTotal.Inc()
 		v, _, err := compute()
 		return v, Bypass, err
 	}
@@ -196,6 +199,7 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (val any, cac
 				// stored entry, a new leader, or become the leader.
 				continue
 			case <-ctx.Done():
+				bypassTotal.Inc()
 				v, _, err := compute()
 				return v, Bypass, err
 			}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"gqa/internal/admission"
+)
+
+// TestWriteRejectHeaderBodyAgree pins the 429 contract: the JSON body's
+// retry_after_ms must be exactly the Retry-After header converted to
+// milliseconds, floor included. Before the fix the body reported the raw
+// rejection hint (0 or sub-millisecond under light queues) while the
+// header was floored to 1s, so JSON-reading clients retried instantly.
+func TestWriteRejectHeaderBodyAgree(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		retryAfter time.Duration
+		wantSecs   int
+	}{
+		{"zero hint floors to 1s", 0, 1},
+		{"sub-millisecond floors to 1s", 300 * time.Microsecond, 1},
+		{"sub-second rounds up to 1s", 450 * time.Millisecond, 1},
+		{"fractional seconds round up", 1200 * time.Millisecond, 2},
+		{"whole seconds pass through", 3 * time.Second, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			writeReject(rec, &admission.RejectError{Reason: "queue-full", RetryAfter: tc.retryAfter})
+
+			if rec.Code != 429 {
+				t.Fatalf("status = %d, want 429", rec.Code)
+			}
+			hdr := rec.Header().Get("Retry-After")
+			secs, err := strconv.Atoi(hdr)
+			if err != nil {
+				t.Fatalf("Retry-After header %q is not an integer: %v", hdr, err)
+			}
+			if secs != tc.wantSecs {
+				t.Errorf("Retry-After = %d, want %d", secs, tc.wantSecs)
+			}
+			var body struct {
+				Error        string `json:"error"`
+				Reason       string `json:"reason"`
+				RetryAfterMs int64  `json:"retry_after_ms"`
+			}
+			if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+				t.Fatalf("decoding reject body: %v", err)
+			}
+			if body.Reason != "queue-full" {
+				t.Errorf("body reason = %q, want queue-full", body.Reason)
+			}
+			if body.RetryAfterMs != int64(secs)*1000 {
+				t.Errorf("body retry_after_ms = %d disagrees with Retry-After header %ds",
+					body.RetryAfterMs, secs)
+			}
+			if body.RetryAfterMs < 1000 {
+				t.Errorf("body retry_after_ms = %d, want >= 1000 (the header floor)", body.RetryAfterMs)
+			}
+		})
+	}
+}

@@ -185,14 +185,19 @@ func jsonError(w http.ResponseWriter, status int, msg string) {
 
 // writeReject emits the structured 429 contract: Retry-After (seconds,
 // rounded up, at least 1) plus a JSON body naming the rejection reason.
+// The body's retry_after_ms is the header's value in milliseconds — the
+// same floor applies, so a JSON-reading client under a light queue (raw
+// hint 0 or sub-millisecond) backs off like a header-reading one instead
+// of stampeding right back.
 func writeReject(w http.ResponseWriter, rej *admission.RejectError) {
-	w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(rej.RetryAfter)))
+	secs := retryAfterSeconds(rej.RetryAfter)
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusTooManyRequests)
 	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
 		"error":          "overloaded",
 		"reason":         rej.Reason,
-		"retry_after_ms": rej.RetryAfter.Milliseconds(),
+		"retry_after_ms": int64(secs) * 1000,
 	})
 }
 

@@ -91,7 +91,15 @@ func evalTracked(g *store.Graph, q *Query, tr *budget.Tracker) (*Result, error) 
 	// without re-loading the graph's snapshot pointer per call. An
 	// unfrozen graph keeps the mutable index dispatch.
 	match := g.Match
+	var boundView store.View
 	if fv := g.FrozenView(); fv != nil {
+		// A remote view binds to this evaluation's tracker so shard-RPC
+		// deadlines follow the request budget and an unreachable shard
+		// degrades (Truncated = "shard-unavailable") instead of hanging.
+		if rb, ok := fv.(store.RequestBindable); ok {
+			fv = rb.BindRequest(tr, nil)
+			boundView = fv
+		}
 		match = fv.Match
 	}
 
@@ -162,6 +170,11 @@ func evalTracked(g *store.Graph, q *Query, tr *budget.Tracker) (*Result, error) 
 	}
 	walk(0)
 	res.Truncated = tr.Exhausted()
+	if res.Truncated == "" && boundView != nil {
+		if dr, ok := boundView.(store.DegradeReporter); ok {
+			res.Truncated = dr.DegradeReason()
+		}
+	}
 
 	// FILTER constraints on the complete bindings.
 	if len(q.Filters) > 0 {

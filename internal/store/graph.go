@@ -93,6 +93,27 @@ type Graph struct {
 	shards     atomic.Pointer[ShardSet]
 	shardMu    sync.Mutex
 	lastShards *ShardSet
+
+	// remoteView, when set, overrides FrozenView with a connected
+	// multi-process shard view (see remote.go and SetRemoteView): every
+	// frozen read — matcher, SPARQL evaluator, linker, dict paths — then
+	// routes through the shard-RPC client instead of local arrays.
+	remoteView atomic.Pointer[View]
+}
+
+// SetRemoteView installs (or, with nil, removes) a remote shard view as
+// the graph's frozen read surface. The coordinator keeps its local graph
+// for the dictionary and term table; adjacency and pattern reads go over
+// the wire. The caller owns consistency: the remote shards must serve the
+// same frozen data the local graph holds (DialShards validates the
+// generation and term count at connect time). Not safe to call
+// concurrently with mutation.
+func (g *Graph) SetRemoteView(v View) {
+	if v == nil {
+		g.remoteView.Store(nil)
+		return
+	}
+	g.remoteView.Store(&v)
 }
 
 // New returns an empty graph.
@@ -147,6 +168,13 @@ func (g *Graph) LookupIRI(iri string) (ID, bool) {
 // Term returns the term for id. It panics on out-of-range IDs, which always
 // indicate a programming error.
 func (g *Graph) Term(id ID) rdf.Term { return g.terms[id] }
+
+// Terms returns a copy of the interned term table (index = ID) — the
+// coordinator hands it to DialShards so remote views resolve Term lookups
+// locally instead of over the wire.
+func (g *Graph) Terms() []rdf.Term {
+	return append([]rdf.Term(nil), g.terms...)
+}
 
 // Add inserts a triple, interning its terms. Duplicate triples are ignored.
 // It returns an error only for RDF-invalid triples.

@@ -1,0 +1,774 @@
+package store
+
+// RemoteShardSet: the coordinator side of multi-process sharding. It
+// implements the same store.View surface (plus NumShards) as the
+// in-process ShardSet, but every adjacency, membership, and
+// predicate-major read routes over the shard RPC protocol (shardrpc.go)
+// to the gqa-shard server owning the vertex — so the matcher's
+// scatter-gather rounds, the SPARQL evaluator, and the dict path walks
+// all run unchanged over the wire. The identity argument is the same as
+// the in-process ShardSet's, one level up: each shard server serves the
+// exact arrays its part file froze, per-vertex spans stay the identical
+// (Pred,To)-sorted runs, and predicate-major scans gather the per-shard
+// (S,O)-sorted groups and k-way-merge them locally with the same merge
+// the ShardSet uses — so remote answers are byte-identical to local
+// ones.
+//
+// The robustness work lives here, not in the server: per-call deadlines
+// derived from the request budget (a call never outlives the request it
+// serves), bounded retries with doubling backoff on transport errors, a
+// hedged second attempt for straggler shards in the gather, per-shard
+// connection pools behind a down-marker breaker (a dead shard fails fast
+// for a cooldown instead of paying the full timeout on every probe), and
+// structured degradation: when a read has exhausted its retries the
+// request's budget is tripped with reason "shard-unavailable" and the
+// read returns empty — the search degrades to the best partial answer,
+// exactly like a deadline trip, and never hangs.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gqa/internal/budget"
+	"gqa/internal/faultpoint"
+	"gqa/internal/obs"
+	"gqa/internal/rdf"
+)
+
+// Shard-RPC client metrics (the gqa_rpc_* series).
+var (
+	rpcCallsTotal = obs.DefaultCounter("gqa_rpc_calls_total",
+		"Shard-RPC call attempts issued by the coordinator (retries and hedges included).")
+	rpcRetriesTotal = obs.DefaultCounter("gqa_rpc_retries_total",
+		"Shard-RPC attempts that were retries after a transient transport error.")
+	rpcHedgesTotal = obs.DefaultCounter("gqa_rpc_hedges_total",
+		"Hedged second attempts launched against straggler shards during gathers.")
+	rpcErrorsTotal = obs.DefaultCounter("gqa_rpc_errors_total",
+		"Shard-RPC calls that failed after exhausting their retries.")
+	rpcDegradedTotal = obs.DefaultCounter("gqa_rpc_degraded_total",
+		"Reads degraded to empty results because a shard stayed unreachable.")
+	rpcCallSeconds = obs.DefaultHistogram("gqa_rpc_call_seconds",
+		"Latency of individual shard-RPC call attempts (successful or not).", nil)
+)
+
+// RemoteOptions tunes the shard-RPC client. The zero value gets serving
+// defaults (fill).
+type RemoteOptions struct {
+	// DialTimeout bounds one TCP connect to a shard server.
+	DialTimeout time.Duration
+	// CallTimeout is the per-call deadline cap. The effective deadline of
+	// every call is min(now+CallTimeout, request budget deadline).
+	CallTimeout time.Duration
+	// Retries is how many times a call is re-attempted after a transient
+	// transport error (dial failure, reset, timeout). Server-reported
+	// errors are not retried — they are deterministic.
+	Retries int
+	// RetryBackoff is the first retry's backoff; it doubles per retry.
+	RetryBackoff time.Duration
+	// HedgeAfter launches a hedged second attempt when a gather leg has
+	// not answered within this delay. Zero disables hedging.
+	HedgeAfter time.Duration
+	// PoolSize caps idle pooled connections per shard.
+	PoolSize int
+	// DownCooldown is how long a shard that exhausted a call's retries
+	// fails fast before the next attempt probes it again.
+	DownCooldown time.Duration
+}
+
+func (o *RemoteOptions) fill() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 2 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 5 * time.Millisecond
+	}
+	if o.HedgeAfter == 0 {
+		o.HedgeAfter = 50 * time.Millisecond
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 4
+	}
+	if o.DownCooldown <= 0 {
+		o.DownCooldown = 250 * time.Millisecond
+	}
+}
+
+// errShardDown is returned without touching the network while a shard's
+// breaker cooldown is running.
+var errShardDown = errors.New("store: shard marked down (cooldown)")
+
+// shardConnPool is one shard's connection pool plus its health breaker.
+type shardConnPool struct {
+	addr string
+	size int
+
+	mu   sync.Mutex
+	free []net.Conn
+
+	// downUntil is the breaker: while now < downUntil every call fails
+	// fast. Set when a call exhausts its retries; cleared implicitly by
+	// the cooldown elapsing (half-open: the next call probes for real).
+	downUntil atomic.Int64
+}
+
+func (p *shardConnPool) get(dialTimeout time.Duration) (net.Conn, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	if err := faultpoint.HitErr(faultpoint.RPCDial); err != nil {
+		return nil, err
+	}
+	c, err := net.DialTimeout("tcp", p.addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return c, nil
+}
+
+func (p *shardConnPool) put(c net.Conn) {
+	p.mu.Lock()
+	if len(p.free) < p.size {
+		p.free = append(p.free, c)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+func (p *shardConnPool) isDown() bool {
+	return time.Now().UnixNano() < p.downUntil.Load()
+}
+
+func (p *shardConnPool) markDown(cooldown time.Duration) {
+	p.downUntil.Store(time.Now().Add(cooldown).UnixNano())
+	p.mu.Lock()
+	free := p.free
+	p.free = nil
+	p.mu.Unlock()
+	for _, c := range free {
+		c.Close()
+	}
+}
+
+func (p *shardConnPool) closeAll() {
+	p.mu.Lock()
+	free := p.free
+	p.free = nil
+	p.mu.Unlock()
+	for _, c := range free {
+		c.Close()
+	}
+}
+
+// rpcReq is the per-request state a bound view carries: the budget the
+// calls derive deadlines from (and trip on failure), the span RPC
+// telemetry lands on, and the request's own call counters.
+type rpcReq struct {
+	b  *budget.Tracker
+	sp *obs.Span
+
+	calls   atomic.Int64
+	retries atomic.Int64
+	hedges  atomic.Int64
+	errs    atomic.Int64
+}
+
+// RemoteShardSet is the connected client over K shard servers. Construct
+// with DialShards; a RemoteShardSet is safe for concurrent use by many
+// requests. It implements View and ShardedView; BindRequest scopes it to
+// one request's budget and span.
+type RemoteShardSet struct {
+	k        int
+	gen      uint64
+	terms    []rdf.Term
+	rdfType  ID
+	nTriples int
+	predIDs  []ID
+	entities []ID
+	stats    Stats
+
+	opts  RemoteOptions
+	pools []*shardConnPool
+}
+
+// DialShards connects to one shard server per address (addrs[i] must
+// serve shard i of K=len(addrs)), validates that every part describes
+// the same frozen graph — matching global generation, term count, triple
+// count, and stats — and that it matches the coordinator's term table,
+// then assembles the global structures (merged entity and predicate
+// lists) the way ShardSet.assemble does. terms is the coordinator's
+// interned term table; the remote view serves Term lookups from it
+// locally (the dictionary never crosses the wire).
+func DialShards(addrs []string, terms []rdf.Term, opts RemoteOptions) (*RemoteShardSet, error) {
+	k := len(addrs)
+	if k < 2 {
+		return nil, fmt.Errorf("store: DialShards needs at least 2 shard addresses, have %d", k)
+	}
+	opts.fill()
+	r := &RemoteShardSet{k: k, terms: terms, opts: opts, pools: make([]*shardConnPool, k)}
+	for i, addr := range addrs {
+		r.pools[i] = &shardConnPool{addr: addr, size: opts.PoolSize}
+	}
+	var metas = make([]shardMeta, k)
+	for i := 0; i < k; i++ {
+		resp, err := r.call(nil, i, []byte{shrOpMeta})
+		if err != nil {
+			return nil, fmt.Errorf("store: DialShards: shard %d (%s): %w", i, addrs[i], err)
+		}
+		m, err := decodeShardMeta(resp)
+		if err != nil {
+			return nil, fmt.Errorf("store: DialShards: shard %d (%s): %w", i, addrs[i], err)
+		}
+		metas[i] = m
+	}
+	m0 := metas[0]
+	for i, m := range metas {
+		if int(m.k) != k {
+			return nil, fmt.Errorf("store: DialShards: shard server %d is part of a %d-shard set, dialing %d", i, m.k, k)
+		}
+		if int(m.shard) != i {
+			return nil, fmt.Errorf("store: DialShards: address %d serves shard %d — addresses must be in shard order", i, m.shard)
+		}
+		if m.gen != m0.gen || m.nTerms != m0.nTerms || m.nTriples != m0.nTriples || m.stats != m0.stats || m.rdfType != m0.rdfType {
+			return nil, fmt.Errorf("store: DialShards: shard %d disagrees with shard 0 on the frozen graph (gen %d vs %d) — parts from different exports?", i, m.gen, m0.gen)
+		}
+	}
+	if int(m0.nTerms) != len(terms) {
+		return nil, fmt.Errorf("store: DialShards: shard set froze %d terms, coordinator holds %d — generation mismatch", m0.nTerms, len(terms))
+	}
+	r.gen = m0.gen
+	r.rdfType = ID(m0.rdfType)
+	r.nTriples = int(m0.nTriples)
+	r.stats = m0.stats
+
+	entityLists := make([][]ID, k)
+	predLists := make([][]ID, k)
+	for i := 0; i < k; i++ {
+		resp, err := r.call(nil, i, []byte{shrOpEntities})
+		if err != nil {
+			return nil, fmt.Errorf("store: DialShards: shard %d entities: %w", i, err)
+		}
+		entityLists[i] = decodeFrzIDs(resp)
+		resp, err = r.call(nil, i, []byte{shrOpPredIDs})
+		if err != nil {
+			return nil, fmt.Errorf("store: DialShards: shard %d predicates: %w", i, err)
+		}
+		predLists[i] = decodeFrzIDs(resp)
+	}
+	r.entities = mergeIDLists(entityLists)
+	r.predIDs = mergeIDLists(predLists)
+	return r, nil
+}
+
+// mergeIDLists k-way-merges ascending ID lists into one ascending,
+// deduplicated list (the remote twin of mergeAscending).
+func mergeIDLists(lists [][]ID) []ID {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]ID, 0, total)
+	for {
+		best := -1
+		for i, l := range lists {
+			if len(l) == 0 {
+				continue
+			}
+			if best < 0 || l[0] < lists[best][0] {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		v := lists[best][0]
+		lists[best] = lists[best][1:]
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+}
+
+// Close tears down every pooled connection. In-flight calls on checked-
+// out connections finish (or fail) on their own deadlines.
+func (r *RemoteShardSet) Close() {
+	for _, p := range r.pools {
+		p.closeAll()
+	}
+}
+
+// Addrs returns the connected shard addresses in shard order.
+func (r *RemoteShardSet) Addrs() []string {
+	out := make([]string, r.k)
+	for i, p := range r.pools {
+		out[i] = p.addr
+	}
+	return out
+}
+
+// Ping probes every shard server once (no retries) and returns the first
+// failure — the health check gqa-serve runs at boot and readiness time.
+func (r *RemoteShardSet) Ping() error {
+	for i := range r.pools {
+		if _, err := r.attempt(nil, i, []byte{shrOpPing}); err != nil {
+			return fmt.Errorf("store: shard %d (%s): %w", i, r.pools[i].addr, err)
+		}
+	}
+	return nil
+}
+
+// BindRequest scopes the view to one request: calls derive deadlines
+// from b, failures trip b (FailShardUnavailable), and the search span sp
+// receives the request's RPC counters (AnnotateSpan) and rpc.gather
+// children.
+func (r *RemoteShardSet) BindRequest(b *budget.Tracker, sp *obs.Span) View {
+	return &boundRemote{r: r, st: &rpcReq{b: b, sp: sp}}
+}
+
+// ------------------------------------------------------------- transport
+
+// errServer wraps an error frame the server answered with; it is
+// deterministic (the server handled the request) and never retried.
+type errServer struct{ msg string }
+
+func (e *errServer) Error() string { return "shard server: " + e.msg }
+
+// attempt performs exactly one call on one pooled (or fresh) connection.
+func (r *RemoteShardSet) attempt(st *rpcReq, shard int, req []byte) ([]byte, error) {
+	rpcCallsTotal.Inc()
+	if st != nil {
+		st.calls.Add(1)
+	}
+	pool := r.pools[shard]
+	conn, err := pool.get(r.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(r.opts.CallTimeout)
+	if st != nil {
+		if d, ok := st.b.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+	}
+	conn.SetDeadline(deadline) //nolint:errcheck
+	start := time.Now()
+	if err := writeFrame(conn, req); err != nil {
+		conn.Close()
+		rpcCallSeconds.ObserveDuration(time.Since(start))
+		return nil, err
+	}
+	resp, err := readFrame(conn, maxShardRespFrame)
+	rpcCallSeconds.ObserveDuration(time.Since(start))
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{}) //nolint:errcheck
+	pool.put(conn)
+	if len(resp) == 0 {
+		return nil, errors.New("empty response frame")
+	}
+	if resp[0] != shrStatusOK {
+		return nil, &errServer{msg: string(resp[1:])}
+	}
+	return resp[1:], nil
+}
+
+// call is the retrying call path: bounded re-attempts with doubling
+// backoff on transient transport errors, fail-fast while the shard's
+// breaker cooldown runs, and no attempt at all once the request's budget
+// is exhausted (a doomed round must not serialize K call timeouts).
+func (r *RemoteShardSet) call(st *rpcReq, shard int, req []byte) ([]byte, error) {
+	pool := r.pools[shard]
+	if pool.isDown() {
+		return nil, errShardDown
+	}
+	var b *budget.Tracker
+	if st != nil {
+		b = st.b
+	}
+	var lastErr error
+	for attempt := 0; attempt <= r.opts.Retries; attempt++ {
+		if reason := b.Check(); reason != "" {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, fmt.Errorf("budget exhausted (%s) before shard call", reason)
+		}
+		if attempt > 0 {
+			rpcRetriesTotal.Inc()
+			if st != nil {
+				st.retries.Add(1)
+			}
+			time.Sleep(r.opts.RetryBackoff << (attempt - 1))
+		}
+		resp, err := r.attempt(st, shard, req)
+		if err == nil {
+			return resp, nil
+		}
+		var srv *errServer
+		if errors.As(err, &srv) {
+			// Deterministic server-side failure: retrying replays it.
+			rpcErrorsTotal.Inc()
+			return nil, err
+		}
+		lastErr = err
+	}
+	rpcErrorsTotal.Inc()
+	pool.markDown(r.opts.DownCooldown)
+	return nil, lastErr
+}
+
+// callHedged is call plus a hedged second attempt: when the first leg
+// has not answered within HedgeAfter, a second identical call races it
+// and the first success wins. Used by the gather (predicate-major scans
+// fan out to every shard, so one straggler shard gates the whole merge).
+func (r *RemoteShardSet) callHedged(st *rpcReq, shard int, req []byte) ([]byte, error) {
+	if r.opts.HedgeAfter <= 0 {
+		return r.call(st, shard, req)
+	}
+	type result struct {
+		b   []byte
+		err error
+	}
+	ch := make(chan result, 2)
+	launch := func() {
+		go func() {
+			b, err := r.call(st, shard, req)
+			ch <- result{b, err}
+		}()
+	}
+	launch()
+	inflight := 1
+	timer := time.NewTimer(r.opts.HedgeAfter)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case out := <-ch:
+			inflight--
+			if out.err == nil {
+				return out.b, nil
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if inflight == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			rpcHedgesTotal.Inc()
+			if st != nil {
+				st.hedges.Add(1)
+			}
+			launch()
+			inflight++
+		}
+	}
+}
+
+// degrade records an unrecoverable read failure: the request's budget is
+// tripped so the pipeline reports Answer.Degraded = "shard-unavailable",
+// and the read returns empty. On an unbudgeted caller (nil tracker) the
+// read still returns empty — degraded, never hung.
+func (r *RemoteShardSet) degrade(st *rpcReq) {
+	rpcDegradedTotal.Inc()
+	if st != nil {
+		st.errs.Add(1)
+		st.b.FailShardUnavailable()
+	}
+}
+
+// ----------------------------------------------------------- typed calls
+
+func (r *RemoteShardSet) shardOf(v ID) int { return int(v) % r.k }
+
+func reqV(op byte, v ID) []byte {
+	b := make([]byte, 0, 5)
+	b = append(b, op)
+	return appendID(b, v)
+}
+
+func reqVP(op byte, v, p ID) []byte {
+	b := make([]byte, 0, 9)
+	b = append(b, op)
+	return appendID(appendID(b, v), p)
+}
+
+func reqSPO(op byte, s, p, o ID) []byte {
+	b := make([]byte, 0, 13)
+	b = append(b, op)
+	return appendID(appendID(appendID(b, s), p), o)
+}
+
+func appendID(b []byte, v ID) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func (r *RemoteShardSet) edges(st *rpcReq, shard int, req []byte) []Edge {
+	resp, err := r.call(st, shard, req)
+	if err != nil {
+		r.degrade(st)
+		return nil
+	}
+	return decodeFrzEdges(resp)
+}
+
+func (r *RemoteShardSet) outSpanRPC(st *rpcReq, v ID) []Edge {
+	return r.edges(st, r.shardOf(v), reqV(shrOpOut, v))
+}
+
+func (r *RemoteShardSet) inSpanRPC(st *rpcReq, v ID) []Edge {
+	return r.edges(st, r.shardOf(v), reqV(shrOpIn, v))
+}
+
+func (r *RemoteShardSet) outPredRPC(st *rpcReq, v, p ID) []Edge {
+	return r.edges(st, r.shardOf(v), reqVP(shrOpOutPred, v, p))
+}
+
+func (r *RemoteShardSet) inPredRPC(st *rpcReq, v, p ID) []Edge {
+	return r.edges(st, r.shardOf(v), reqVP(shrOpInPred, v, p))
+}
+
+func (r *RemoteShardSet) degreesRPC(st *rpcReq, v ID) (int, int) {
+	resp, err := r.call(st, r.shardOf(v), reqV(shrOpDegrees, v))
+	if err != nil || len(resp) != 8 {
+		r.degrade(st)
+		return 0, 0
+	}
+	return int(uint32(resp[0]) | uint32(resp[1])<<8 | uint32(resp[2])<<16 | uint32(resp[3])<<24),
+		int(uint32(resp[4]) | uint32(resp[5])<<8 | uint32(resp[6])<<16 | uint32(resp[7])<<24)
+}
+
+func (r *RemoteShardSet) boolRPC(st *rpcReq, shard int, req []byte) bool {
+	resp, err := r.call(st, shard, req)
+	if err != nil || len(resp) != 1 {
+		r.degrade(st)
+		return false
+	}
+	return resp[0] != 0
+}
+
+func (r *RemoteShardSet) roleRPC(st *rpcReq, v ID) uint8 {
+	resp, err := r.call(st, r.shardOf(v), reqV(shrOpRole, v))
+	if err != nil || len(resp) != 1 {
+		r.degrade(st)
+		return 0
+	}
+	return resp[0]
+}
+
+// gatherGroups is the over-the-wire scatter-gather of a predicate-major
+// scan: every shard's (S,O)-sorted group for p is fetched concurrently
+// (with hedging against stragglers), and the survivors merge locally in
+// global (S,O) order. A failed leg degrades the request; the merge runs
+// over whatever arrived, so a doomed scan still terminates promptly with
+// partial (budget-flagged) results.
+func (r *RemoteShardSet) gatherGroups(st *rpcReq, p ID) [][]Spo {
+	var parent *obs.Span
+	if st != nil {
+		parent = st.sp
+	}
+	sp := parent.Child("rpc.gather")
+	req := reqV(shrOpPredGrp, p)
+	results := make([][]Spo, r.k)
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < r.k; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			resp, err := r.callHedged(st, shard, req)
+			if err != nil {
+				failed.Add(1)
+				r.degrade(st)
+				return
+			}
+			results[shard] = decodeFrzSpos(resp)
+		}(i)
+	}
+	wg.Wait()
+	groups := make([][]Spo, 0, r.k)
+	for _, g := range results {
+		if len(g) > 0 {
+			groups = append(groups, g)
+		}
+	}
+	if sp.Enabled() {
+		sp.SetInt("shards", int64(r.k))
+		sp.SetInt("failed", failed.Load())
+		if st != nil {
+			sp.SetInt("hedges", st.hedges.Load())
+		}
+	}
+	sp.Finish()
+	return groups
+}
+
+// ------------------------------------------------------- the View surface
+
+// The unbound methods serve callers outside a request scope (the linker's
+// construction-time probes, ad-hoc reads): no budget, default per-call
+// deadlines, degradation to empty reads without a reason to trip.
+
+func (r *RemoteShardSet) Generation() uint64 { return r.gen }
+func (r *RemoteShardSet) NumShards() int     { return r.k }
+func (r *RemoteShardSet) NumTerms() int      { return len(r.terms) }
+func (r *RemoteShardSet) NumTriples() int    { return r.nTriples }
+func (r *RemoteShardSet) Term(id ID) rdf.Term {
+	return r.terms[id]
+}
+func (r *RemoteShardSet) TypeID() ID { return r.rdfType }
+func (r *RemoteShardSet) Stats() Stats {
+	return r.stats
+}
+
+func (r *RemoteShardSet) Entities() []ID {
+	if len(r.entities) == 0 {
+		return nil
+	}
+	return append([]ID(nil), r.entities...)
+}
+
+func (r *RemoteShardSet) Match(s, p, o ID, fn func(Spo) bool) { r.match(nil, s, p, o, fn) }
+func (r *RemoteShardSet) Has(s, p, o ID) bool                 { return r.has(nil, s, p, o) }
+func (r *RemoteShardSet) HasAdjacentPred(v, p ID) bool        { return r.hasAdj(nil, v, p) }
+func (r *RemoteShardSet) OutPred(v, p ID) []Edge              { return r.outPredRPC(nil, v, p) }
+func (r *RemoteShardSet) InPred(v, p ID) []Edge               { return r.inPredRPC(nil, v, p) }
+func (r *RemoteShardSet) OutPredDegree(v, p ID) int           { return len(r.outPredRPC(nil, v, p)) }
+func (r *RemoteShardSet) InPredDegree(v, p ID) int            { return len(r.inPredRPC(nil, v, p)) }
+func (r *RemoteShardSet) OutDegree(v ID) int                  { d, _ := r.degreesRPC(nil, v); return d }
+func (r *RemoteShardSet) InDegree(v ID) int                   { _, d := r.degreesRPC(nil, v); return d }
+func (r *RemoteShardSet) Degree(v ID) int                     { a, b := r.degreesRPC(nil, v); return a + b }
+func (r *RemoteShardSet) IsEntity(v ID) bool                  { return r.roleRPC(nil, v)&roleEntity != 0 }
+func (r *RemoteShardSet) IsClass(v ID) bool                   { return r.roleRPC(nil, v)&roleClass != 0 }
+
+func (r *RemoteShardSet) has(st *rpcReq, s, p, o ID) bool {
+	return r.boolRPC(st, r.shardOf(s), reqSPO(shrOpHas, s, p, o))
+}
+
+func (r *RemoteShardSet) hasAdj(st *rpcReq, v, p ID) bool {
+	return r.boolRPC(st, r.shardOf(v), reqVP(shrOpHasAdj, v, p))
+}
+
+// match mirrors ShardSet.Match dispatch exactly; only the transport
+// differs, so the emitted triple order is identical.
+func (r *RemoteShardSet) match(st *rpcReq, s, p, o ID, fn func(Spo) bool) {
+	faultpoint.Hit(faultpoint.StoreMatch)
+	switch {
+	case s != Any && p != Any && o != Any:
+		if r.has(st, s, p, o) {
+			fn(Spo{s, p, o})
+		}
+	case s != Any:
+		var span []Edge
+		if p != Any {
+			span = r.outPredRPC(st, s, p)
+		} else {
+			span = r.outSpanRPC(st, s)
+		}
+		for _, e := range span {
+			if o != Any && e.To != o {
+				continue
+			}
+			if !fn(Spo{s, e.Pred, e.To}) {
+				return
+			}
+		}
+	case o != Any:
+		var span []Edge
+		if p != Any {
+			span = r.inPredRPC(st, o, p)
+		} else {
+			span = r.inSpanRPC(st, o)
+		}
+		for _, e := range span {
+			if !fn(Spo{e.To, e.Pred, o}) {
+				return
+			}
+		}
+	case p != Any:
+		mergeSpoGroups(r.gatherGroups(st, p), fn)
+	default:
+		for _, pid := range r.predIDs {
+			if !mergeSpoGroups(r.gatherGroups(st, pid), fn) {
+				return
+			}
+		}
+	}
+}
+
+// --------------------------------------------------------- bound wrapper
+
+// boundRemote is the per-request face of a RemoteShardSet: same data,
+// same order, with the request's budget driving deadlines/degradation
+// and its span collecting RPC telemetry.
+type boundRemote struct {
+	r  *RemoteShardSet
+	st *rpcReq
+}
+
+func (v *boundRemote) Generation() uint64             { return v.r.gen }
+func (v *boundRemote) NumShards() int                 { return v.r.k }
+func (v *boundRemote) NumTerms() int                  { return len(v.r.terms) }
+func (v *boundRemote) NumTriples() int                { return v.r.nTriples }
+func (v *boundRemote) Term(id ID) rdf.Term            { return v.r.terms[id] }
+func (v *boundRemote) TypeID() ID                     { return v.r.rdfType }
+func (v *boundRemote) Stats() Stats                   { return v.r.stats }
+func (v *boundRemote) Entities() []ID                 { return v.r.Entities() }
+func (v *boundRemote) Match(s, p, o ID, fn func(Spo) bool) { v.r.match(v.st, s, p, o, fn) }
+func (v *boundRemote) Has(s, p, o ID) bool            { return v.r.has(v.st, s, p, o) }
+func (v *boundRemote) HasAdjacentPred(a, p ID) bool   { return v.r.hasAdj(v.st, a, p) }
+func (v *boundRemote) OutPred(a, p ID) []Edge         { return v.r.outPredRPC(v.st, a, p) }
+func (v *boundRemote) InPred(a, p ID) []Edge          { return v.r.inPredRPC(v.st, a, p) }
+func (v *boundRemote) OutPredDegree(a, p ID) int      { return len(v.r.outPredRPC(v.st, a, p)) }
+func (v *boundRemote) InPredDegree(a, p ID) int       { return len(v.r.inPredRPC(v.st, a, p)) }
+func (v *boundRemote) OutDegree(a ID) int             { d, _ := v.r.degreesRPC(v.st, a); return d }
+func (v *boundRemote) InDegree(a ID) int              { _, d := v.r.degreesRPC(v.st, a); return d }
+func (v *boundRemote) Degree(a ID) int                { x, y := v.r.degreesRPC(v.st, a); return x + y }
+func (v *boundRemote) IsEntity(a ID) bool             { return v.r.roleRPC(v.st, a)&roleEntity != 0 }
+func (v *boundRemote) IsClass(a ID) bool              { return v.r.roleRPC(v.st, a)&roleClass != 0 }
+
+// DegradeReason reports "shard-unavailable" once any of this request's
+// reads failed past retries — the fallback degradation signal for
+// unbudgeted requests (nil tracker), where there was nothing to trip.
+func (v *boundRemote) DegradeReason() string {
+	if v.st.errs.Load() > 0 {
+		return budget.ReasonShard
+	}
+	return ""
+}
+
+// AnnotateSpan flushes the request's RPC counters onto the search span
+// (the matcher calls it once the pool has joined); the flight recorder
+// lifts them into the wide event's rpc_* fields.
+func (v *boundRemote) AnnotateSpan(sp *obs.Span) {
+	if !sp.Enabled() {
+		return
+	}
+	sp.SetInt("rpc_calls", v.st.calls.Load())
+	sp.SetInt("rpc_retries", v.st.retries.Load())
+	sp.SetInt("rpc_hedges", v.st.hedges.Load())
+	sp.SetInt("rpc_errors", v.st.errs.Load())
+}

@@ -114,9 +114,19 @@ type ShardSet struct {
 // ShardSet); k <= 1 restores the monolithic snapshot path. Switching
 // drops any installed frozen state, so call Freeze after. Not safe to
 // call concurrently with reads or mutation.
-func (g *Graph) SetShards(k int) {
+//
+// The requested count is validated, not trusted: a negative k is treated
+// as 0 (monolithic, like every k <= 1), and k is clamped to the current
+// vertex count — residue classes beyond NumTerms would be permanently
+// empty shard parts that every k-way merge and scatter round still pays
+// for. The effective shard count is returned (0 when monolithic); callers
+// that care (the facade, gqa-serve) can log the clamp.
+func (g *Graph) SetShards(k int) int {
 	g.shardMu.Lock()
 	defer g.shardMu.Unlock()
+	if n := len(g.terms); k > n {
+		k = n
+	}
 	if k <= 1 {
 		k = 0
 	}
@@ -128,6 +138,7 @@ func (g *Graph) SetShards(k int) {
 		g.shardGens = make([]atomic.Uint64, k)
 		g.snap.Store(nil)
 	}
+	return k
 }
 
 // NumShards returns the configured shard count (0 when unsharded).

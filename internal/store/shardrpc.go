@@ -1,0 +1,432 @@
+package store
+
+// The shard RPC protocol: the wire boundary between a coordinator's
+// RemoteShardSet (remote.go) and a gqa-shard server holding one GQASHR1
+// part. The protocol is deliberately minimal — length-prefixed binary
+// frames over TCP, one outstanding request per connection — because the
+// read surface it carries is the store.View hot path: tiny fixed-size
+// requests (an op byte plus at most three IDs) and responses that are
+// raw little-endian dumps of the same arrays the in-process ShardSet
+// would have returned, in the same order. Identity of the served bytes
+// is what keeps remote answers byte-identical to local ones.
+//
+// Framing: every message is [u32 length][payload], length = len(payload),
+// little-endian. A request payload is [op byte][args]; a response payload
+// is [status byte][body], status 0 = OK (body is the op's result
+// encoding) and 1 = error (body is the error string). Requests are tiny
+// by construction and capped at 64 bytes; responses are capped at 1 GiB
+// on the client. A server handler panic (bug, or the armed rpc.call
+// faultpoint) is recovered into an error frame when possible, so one
+// poisoned request does not take the shard down.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"gqa/internal/faultpoint"
+)
+
+// Sorted-array lower bounds shared by the part-local reads below and the
+// remote client's merge bookkeeping.
+func lowerBoundEdge(span []Edge, p, o ID) int {
+	return sort.Search(len(span), func(i int) bool {
+		e := span[i]
+		return e.Pred > p || (e.Pred == p && e.To >= o)
+	})
+}
+
+func lowerBoundBoundary(b []BoundaryEdge, l uint32, p, o ID) int {
+	return sort.Search(len(b), func(i int) bool {
+		e := &b[i]
+		if e.Local != l {
+			return e.Local > l
+		}
+		if e.Pred != p {
+			return e.Pred > p
+		}
+		return e.To >= o
+	})
+}
+
+func lowerBoundID(ids []ID, p ID) int {
+	return sort.Search(len(ids), func(i int) bool { return ids[i] >= p })
+}
+
+// Op codes. Order is wire contract; add new ops at the end only.
+const (
+	shrOpPing     = iota + 1 // health probe; empty response
+	shrOpMeta                // part identity + global facts (shardMeta encoding)
+	shrOpOut                 // v → full out span
+	shrOpIn                  // v → full in span
+	shrOpOutPred             // v, p → per-predicate out run
+	shrOpInPred              // v, p → per-predicate in run
+	shrOpDegrees             // v → outDeg u32, inDeg u32
+	shrOpHasAdj              // v, p → bool byte
+	shrOpHas                 // s, p, o → bool byte (s owned by this shard)
+	shrOpRole                // v → role byte
+	shrOpPredGrp             // p → this shard's (S,O)-sorted triple group
+	shrOpPredIDs             // → this shard's ascending predicate list
+	shrOpEntities            // → this shard's ascending owned-entity list
+)
+
+const (
+	shrStatusOK  = 0
+	shrStatusErr = 1
+
+	maxShardReqFrame  = 64
+	maxShardRespFrame = 1 << 30
+)
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, rejecting lengths above limit.
+func readFrame(r io.Reader, limit uint32) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > limit {
+		return nil, fmt.Errorf("frame length %d exceeds limit %d", n, limit)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// errShardCut is what the armed rpc.call faultpoint uses to sever the
+// connection mid-response (the "mid-stream cut" failure mode).
+var errShardCut = errors.New("faultpoint: cut connection")
+
+// ErrShardCut is the sentinel tests arm on the rpc.call faultpoint to
+// make the server drop the connection after reading a request instead of
+// answering it.
+var ErrShardCut = errShardCut
+
+// ShardServer serves one shard part over the shard RPC protocol. Safe for
+// concurrent connections; every connection gets its own goroutine and
+// handles one request at a time (the client pools connections for
+// parallelism). Close stops the listener and closes every live
+// connection.
+type ShardServer struct {
+	part *ShardPart
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewShardServer wraps a loaded part for serving.
+func NewShardServer(part *ShardPart) *ShardServer {
+	return &ShardServer{part: part, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close. It always returns a
+// non-nil error (net.ErrClosed after a clean Close).
+func (s *ShardServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the listener, severs live connections, and waits for the
+// connection goroutines to drain.
+func (s *ShardServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *ShardServer) dropConn(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *ShardServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	for {
+		req, err := readFrame(conn, maxShardReqFrame)
+		if err != nil {
+			return
+		}
+		// The server-side injection point: a delay makes this shard a
+		// straggler (client-visible timeout), ErrShardCut severs the
+		// connection after the request was read (mid-stream cut), any
+		// other error is reported as an error frame, and a panic message
+		// exercises the handler-panic recovery below.
+		resp, ok := s.handle(req)
+		if !ok {
+			return // injected cut: drop the connection without replying
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle runs one request and returns the response payload. ok=false
+// means the connection should be severed without a reply.
+func (s *ShardServer) handle(req []byte) (resp []byte, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, ok = shardErrResp(fmt.Sprintf("shard server panic: %v", r)), true
+		}
+	}()
+	if err := faultpoint.HitErr(faultpoint.RPCCall); err != nil {
+		if errors.Is(err, errShardCut) {
+			return nil, false
+		}
+		return shardErrResp(err.Error()), true
+	}
+	if len(req) == 0 {
+		return shardErrResp("empty request"), true
+	}
+	op, args := req[0], req[1:]
+	arg := func(i int) ID {
+		return ID(binary.LittleEndian.Uint32(args[4*i:]))
+	}
+	need := func(n int) bool { return len(args) == 4*n }
+	p := s.part.part
+	out := []byte{shrStatusOK}
+	switch op {
+	case shrOpPing:
+		return out, true
+	case shrOpMeta:
+		return append(out, encodeShardMeta(&s.part.meta)...), true
+	case shrOpOut:
+		if !need(1) {
+			return shardErrResp("out: want 1 arg"), true
+		}
+		return append(out, encodeFrzEdges(p.localOutSpan(arg(0)))...), true
+	case shrOpIn:
+		if !need(1) {
+			return shardErrResp("in: want 1 arg"), true
+		}
+		return append(out, encodeFrzEdges(p.localInSpan(arg(0)))...), true
+	case shrOpOutPred:
+		if !need(2) {
+			return shardErrResp("outPred: want 2 args"), true
+		}
+		return append(out, encodeFrzEdges(predSpan(p.localOutSpan(arg(0)), arg(1)))...), true
+	case shrOpInPred:
+		if !need(2) {
+			return shardErrResp("inPred: want 2 args"), true
+		}
+		return append(out, encodeFrzEdges(predSpan(p.localInSpan(arg(0)), arg(1)))...), true
+	case shrOpDegrees:
+		if !need(1) {
+			return shardErrResp("degrees: want 1 arg"), true
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p.localOutSpan(arg(0)))))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p.localInSpan(arg(0)))))
+		return out, true
+	case shrOpHasAdj:
+		if !need(2) {
+			return shardErrResp("hasAdj: want 2 args"), true
+		}
+		return append(out, boolByte(p.localHasAdjacentPred(arg(0), arg(1)))), true
+	case shrOpHas:
+		if !need(3) {
+			return shardErrResp("has: want 3 args"), true
+		}
+		return append(out, boolByte(p.localHas(arg(0), arg(1), arg(2)))), true
+	case shrOpRole:
+		if !need(1) {
+			return shardErrResp("role: want 1 arg"), true
+		}
+		return append(out, p.localRole(arg(0))), true
+	case shrOpPredGrp:
+		if !need(1) {
+			return shardErrResp("predGroup: want 1 arg"), true
+		}
+		return append(out, encodeFrzSpos(p.localPredGroup(arg(0)))...), true
+	case shrOpPredIDs:
+		return append(out, encodeFrzIDs(p.predIDs)...), true
+	case shrOpEntities:
+		return append(out, encodeFrzIDs(p.entities)...), true
+	default:
+		return shardErrResp(fmt.Sprintf("unknown op %d", op)), true
+	}
+}
+
+func shardErrResp(msg string) []byte {
+	return append([]byte{shrStatusErr}, msg...)
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func encodeShardMeta(m *shardMeta) []byte {
+	mb := make([]byte, 0, shrMetaSize)
+	mb = binary.LittleEndian.AppendUint32(mb, m.shard)
+	mb = binary.LittleEndian.AppendUint32(mb, m.k)
+	mb = binary.LittleEndian.AppendUint64(mb, m.gen)
+	mb = binary.LittleEndian.AppendUint64(mb, m.shardGen)
+	mb = binary.LittleEndian.AppendUint64(mb, m.nTerms)
+	mb = binary.LittleEndian.AppendUint64(mb, m.nTriples)
+	mb = binary.LittleEndian.AppendUint32(mb, m.rdfType)
+	mb = binary.LittleEndian.AppendUint64(mb, m.literals)
+	for _, v := range [5]int{m.stats.Entities, m.stats.Classes, m.stats.Literals, m.stats.Triples, m.stats.Predicates} {
+		mb = binary.LittleEndian.AppendUint64(mb, uint64(v))
+	}
+	return mb
+}
+
+func decodeShardMeta(b []byte) (shardMeta, error) {
+	var m shardMeta
+	if len(b) != shrMetaSize {
+		return m, fmt.Errorf("meta response is %d bytes, want %d", len(b), shrMetaSize)
+	}
+	m.shard = binary.LittleEndian.Uint32(b[0:])
+	m.k = binary.LittleEndian.Uint32(b[4:])
+	m.gen = binary.LittleEndian.Uint64(b[8:])
+	m.shardGen = binary.LittleEndian.Uint64(b[16:])
+	m.nTerms = binary.LittleEndian.Uint64(b[24:])
+	m.nTriples = binary.LittleEndian.Uint64(b[32:])
+	m.rdfType = binary.LittleEndian.Uint32(b[40:])
+	m.literals = binary.LittleEndian.Uint64(b[44:])
+	m.stats = Stats{
+		Entities:   int(binary.LittleEndian.Uint64(b[52:])),
+		Classes:    int(binary.LittleEndian.Uint64(b[60:])),
+		Literals:   int(binary.LittleEndian.Uint64(b[68:])),
+		Triples:    int(binary.LittleEndian.Uint64(b[76:])),
+		Predicates: int(binary.LittleEndian.Uint64(b[84:])),
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------
+// Part-local reads: the shardPart methods the server dispatches to. They
+// mirror the ShardSet methods exactly, restricted to one part; every
+// vertex argument is a global ID the part owns (v mod k == shard) — an
+// unowned or out-of-range vertex yields the empty answer, matching what
+// the ShardSet would have asked this shard for.
+
+func (p *shardPart) localIndex(v ID) int {
+	if int(v)%p.k != p.shard {
+		return -1
+	}
+	return int(v) / p.k
+}
+
+func (p *shardPart) localOutSpan(v ID) []Edge {
+	l := p.localIndex(v)
+	if l < 0 || l >= len(p.outOff)-1 {
+		return nil
+	}
+	return p.outEdges[p.outOff[l]:p.outOff[l+1]]
+}
+
+func (p *shardPart) localInSpan(v ID) []Edge {
+	l := p.localIndex(v)
+	if l < 0 || l >= len(p.inOff)-1 {
+		return nil
+	}
+	return p.inEdges[p.inOff[l]:p.inOff[l+1]]
+}
+
+func (p *shardPart) localHasAdjacentPred(v, pred ID) bool {
+	l := p.localIndex(v)
+	if l < 0 || l >= len(p.sig) {
+		return false
+	}
+	lo, hi := sigBits(pred)
+	s := &p.sig[l]
+	if s[0]&lo == 0 || s[1]&hi == 0 {
+		return false
+	}
+	return spanHasPred(p.localOutSpan(v), pred) || spanHasPred(p.localInSpan(v), pred)
+}
+
+// localHas mirrors ShardSet.Has for a subject this part owns: intra-shard
+// triples binary-search the out span, cross-shard triples the boundary
+// index.
+func (p *shardPart) localHas(s, pred, o ID) bool {
+	l := p.localIndex(s)
+	if l < 0 {
+		return false
+	}
+	if int(o)%p.k == p.shard {
+		span := p.localOutSpan(s)
+		i := lowerBoundEdge(span, pred, o)
+		return i < len(span) && span[i].Pred == pred && span[i].To == o
+	}
+	lu := uint32(l)
+	b := p.boundary
+	i := lowerBoundBoundary(b, lu, pred, o)
+	return i < len(b) && b[i].Local == lu && b[i].Pred == pred && b[i].To == o
+}
+
+func (p *shardPart) localRole(v ID) uint8 {
+	l := p.localIndex(v)
+	if l < 0 || l >= len(p.roles) {
+		return 0
+	}
+	return p.roles[l]
+}
+
+func (p *shardPart) localPredGroup(pred ID) []Spo {
+	i := lowerBoundID(p.predIDs, pred)
+	if i == len(p.predIDs) || p.predIDs[i] != pred {
+		return nil
+	}
+	return p.predTriples[p.predOff[i]:p.predOff[i+1]]
+}

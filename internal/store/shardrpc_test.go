@@ -1,0 +1,443 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"gqa/internal/budget"
+	"gqa/internal/faultpoint"
+)
+
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+// exportShardParts saves every shard part of the (sharded, frozen) graph
+// through the GQASHR1 encoder and loads it back — the exact bytes a
+// gqa-shard process would serve from.
+func exportShardParts(t *testing.T, g *Graph, k int) []*ShardPart {
+	t.Helper()
+	parts := make([]*ShardPart, k)
+	for i := 0; i < k; i++ {
+		var buf bytes.Buffer
+		if err := SaveShardPart(&buf, g, i); err != nil {
+			t.Fatalf("SaveShardPart(%d): %v", i, err)
+		}
+		sp, err := LoadShardPart(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("LoadShardPart(%d): %v", i, err)
+		}
+		parts[i] = sp
+	}
+	return parts
+}
+
+// startLoopbackShards shards g into k parts, round-trips each through the
+// file format, and serves each from an in-process ShardServer on a
+// loopback TCP listener. Returns the addresses in shard order plus the
+// live servers (for kill-a-shard tests); cleanup stops everything.
+func startLoopbackShards(t *testing.T, g *Graph, k int) ([]string, []*ShardServer) {
+	t.Helper()
+	g.SetShards(k)
+	g.Freeze()
+	parts := exportShardParts(t, g, k)
+	addrs := make([]string, k)
+	servers := make([]*ShardServer, k)
+	for i := 0; i < k; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewShardServer(parts[i])
+		go srv.Serve(ln) //nolint:errcheck
+		addrs[i] = ln.Addr().String()
+		servers[i] = srv
+		t.Cleanup(srv.Close)
+	}
+	return addrs, servers
+}
+
+// TestShardPartRoundtrip pins the GQASHR1 format: every part of a sharded
+// freeze survives save/load byte-exactly (same arrays, same boundary
+// index, same roles and signatures).
+func TestShardPartRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := randomRichGraph(r)
+	const k = 4
+	g.SetShards(k)
+	g.Freeze()
+	ss := g.FrozenView().(*ShardSet)
+	for i := 0; i < k; i++ {
+		var buf bytes.Buffer
+		if err := SaveShardPart(&buf, g, i); err != nil {
+			t.Fatalf("SaveShardPart(%d): %v", i, err)
+		}
+		loaded, err := LoadShardPart(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("LoadShardPart(%d): %v", i, err)
+		}
+		want, got := *ss.Part(i).part, *loaded.part
+		// bytes is a derived memory-accounting estimate, not data.
+		want.bytes, got.bytes = 0, 0
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("shard %d diverges after roundtrip:\nwant %+v\ngot  %+v", i, want, got)
+		}
+	}
+}
+
+// TestShardPartCorruptionRejected flips bytes across a saved part and
+// requires the loader to reject (never panic, never accept) every
+// corrupted variant, plus every truncation.
+func TestShardPartCorruptionRejected(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := randomRichGraph(r)
+	g.SetShards(3)
+	g.Freeze()
+	var buf bytes.Buffer
+	if err := SaveShardPart(&buf, g, 1); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for off := 0; off < len(raw); off += 41 {
+		cp := append([]byte(nil), raw...)
+		cp[off] ^= 0x5a
+		if _, err := LoadShardPart(bytes.NewReader(cp)); err == nil {
+			t.Fatalf("flip at offset %d accepted", off)
+		}
+	}
+	for cut := 0; cut < len(raw); cut += 107 {
+		if _, err := LoadShardPart(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := LoadShardPart(bytes.NewReader(append(append([]byte(nil), raw...), 0))); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// edgesEqual and sposEqual live in frzsnap_test.go / query_test.go.
+
+// TestRemoteShardSetEquivalence is the wire-level differential: every
+// read on a RemoteShardSet over loopback shard servers returns exactly
+// what the monolithic Snapshot returns, in the same order — the same
+// contract TestShardSetEquivalence pins for the in-process ShardSet, one
+// process boundary later.
+func TestRemoteShardSetEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		for _, k := range []int{2, 4} {
+			r := rand.New(rand.NewSource(seed))
+			g := randomRichGraph(r)
+			sn := buildSnapshot(g, g.gen.Load())
+			addrs, _ := startLoopbackShards(t, g, k)
+			rss, err := DialShards(addrs, g.Terms(), RemoteOptions{})
+			if err != nil {
+				t.Fatalf("seed %d k %d: DialShards: %v", seed, k, err)
+			}
+			t.Cleanup(rss.Close)
+
+			if rss.NumShards() != k {
+				t.Fatalf("NumShards = %d, want %d", rss.NumShards(), k)
+			}
+			if rss.Generation() != sn.Generation() || rss.NumTerms() != sn.NumTerms() ||
+				rss.NumTriples() != sn.NumTriples() || rss.TypeID() != sn.TypeID() {
+				t.Fatalf("seed %d k %d: identity metadata diverges", seed, k)
+			}
+			if !reflect.DeepEqual(rss.Stats(), sn.Stats()) {
+				t.Fatalf("seed %d k %d: Stats %+v, want %+v", seed, k, rss.Stats(), sn.Stats())
+			}
+			if !reflect.DeepEqual(rss.Entities(), sn.Entities()) {
+				t.Fatalf("seed %d k %d: Entities diverge", seed, k)
+			}
+
+			n := ID(g.NumTerms())
+			preds := make([]ID, 0, 8)
+			for v := ID(0); v < n; v++ {
+				if g.Term(v).IsIRI() {
+					preds = append(preds, v)
+				}
+			}
+			for v := ID(0); v < n; v++ {
+				if rss.OutDegree(v) != sn.OutDegree(v) || rss.InDegree(v) != sn.InDegree(v) ||
+					rss.Degree(v) != sn.Degree(v) {
+					t.Fatalf("seed %d k %d: degrees diverge at %d", seed, k, v)
+				}
+				if rss.IsEntity(v) != sn.IsEntity(v) || rss.IsClass(v) != sn.IsClass(v) {
+					t.Fatalf("seed %d k %d: roles diverge at %d", seed, k, v)
+				}
+				for _, p := range preds {
+					if !edgesEqual(rss.OutPred(v, p), sn.OutPred(v, p)) {
+						t.Fatalf("seed %d k %d: OutPred(%d,%d) diverges", seed, k, v, p)
+					}
+					if !edgesEqual(rss.InPred(v, p), sn.InPred(v, p)) {
+						t.Fatalf("seed %d k %d: InPred(%d,%d) diverges", seed, k, v, p)
+					}
+					if rss.HasAdjacentPred(v, p) != sn.HasAdjacentPred(v, p) {
+						t.Fatalf("seed %d k %d: HasAdjacentPred(%d,%d) diverges", seed, k, v, p)
+					}
+					if rss.OutPredDegree(v, p) != sn.OutPredDegree(v, p) ||
+						rss.InPredDegree(v, p) != sn.InPredDegree(v, p) {
+						t.Fatalf("seed %d k %d: pred degrees diverge at (%d,%d)", seed, k, v, p)
+					}
+				}
+			}
+
+			// Every Match pattern shape, exact order.
+			check := func(s, p, o ID) {
+				t.Helper()
+				if got, want := collectExact(rss.Match, s, p, o), collectExact(sn.Match, s, p, o); !sposEqual(got, want) {
+					t.Fatalf("seed %d k %d: Match(%v,%v,%v) = %v, want %v", seed, k, s, p, o, got, want)
+				}
+			}
+			check(Any, Any, Any)
+			for _, p := range preds {
+				check(Any, p, Any)
+			}
+			all := collectExact(sn.Match, Any, Any, Any)
+			for i, tr := range all {
+				if i%5 != 0 {
+					continue
+				}
+				check(tr.S, Any, Any)
+				check(Any, Any, tr.O)
+				check(tr.S, tr.P, Any)
+				check(tr.S, Any, tr.O)
+				check(Any, tr.P, tr.O)
+				check(tr.S, tr.P, tr.O)
+				if !rss.Has(tr.S, tr.P, tr.O) {
+					t.Fatalf("seed %d k %d: Has(%v) = false for a present triple", seed, k, tr)
+				}
+			}
+			if rss.Has(all[0].S, all[0].P, None) {
+				t.Fatalf("seed %d k %d: Has of an absent triple", seed, k)
+			}
+			rss.Close()
+		}
+	}
+}
+
+// TestRemoteFailureModes is the failure-mode table: each injected fault —
+// a straggling server past the call timeout, a refused dial, a mid-stream
+// connection cut, a server-side panic — must end in bounded, budget-
+// flagged degradation with the documented retry behaviour, never a hang.
+func TestRemoteFailureModes(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := randomRichGraph(r)
+	addrs, _ := startLoopbackShards(t, g, 2)
+	opts := RemoteOptions{
+		DialTimeout:  200 * time.Millisecond,
+		CallTimeout:  80 * time.Millisecond,
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+		HedgeAfter:   -1, // disabled: retry counts must be deterministic
+		DownCooldown: 50 * time.Millisecond,
+	}
+	// A vertex with outgoing edges, for a read that must touch the wire.
+	sn := buildSnapshot(g, g.gen.Load())
+	var probe Spo
+	sn.Match(Any, Any, Any, func(s Spo) bool { probe = s; return false })
+
+	cases := []struct {
+		name      string
+		point     string
+		fault     faultpoint.Fault
+		wantCalls int64 // attempts for the single probed read
+		wantRetry int64
+	}{
+		{"server delay past call timeout", faultpoint.RPCCall,
+			faultpoint.Fault{Delay: 300 * time.Millisecond}, 3, 2},
+		{"dial refused", faultpoint.RPCDial,
+			faultpoint.Fault{Err: errors.New("connection refused")}, 3, 2},
+		{"mid-stream connection cut", faultpoint.RPCCall,
+			faultpoint.Fault{Err: ErrShardCut}, 3, 2},
+		{"server panic", faultpoint.RPCCall,
+			faultpoint.Fault{PanicMsg: "boom"}, 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rss, err := DialShards(addrs, g.Terms(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rss.Close()
+			if tc.point == faultpoint.RPCDial {
+				// Drain pooled connections so the read must dial.
+				for _, p := range rss.pools {
+					p.closeAll()
+				}
+			}
+			faultpoint.Set(tc.point, tc.fault)
+			defer faultpoint.Reset()
+
+			ctx, cancel := contextWithTimeout(2 * time.Second)
+			defer cancel()
+			tr := budget.New(ctx, budget.Limits{})
+			bv := rss.BindRequest(tr, nil)
+
+			start := time.Now()
+			span := bv.OutPred(probe.S, probe.P)
+			elapsed := time.Since(start)
+
+			if len(span) != 0 {
+				t.Fatalf("degraded read returned %d edges, want 0", len(span))
+			}
+			if got := tr.Exhausted(); got != budget.ReasonShard {
+				t.Fatalf("budget reason = %q, want %q", got, budget.ReasonShard)
+			}
+			st := bv.(*boundRemote).st
+			if st.calls.Load() != tc.wantCalls {
+				t.Fatalf("calls = %d, want %d", st.calls.Load(), tc.wantCalls)
+			}
+			if st.retries.Load() != tc.wantRetry {
+				t.Fatalf("retries = %d, want %d", st.retries.Load(), tc.wantRetry)
+			}
+			if st.errs.Load() == 0 {
+				t.Fatal("no error recorded on the request state")
+			}
+			// Bounded: three 80 ms attempts plus backoff, not a hang.
+			if elapsed > 1500*time.Millisecond {
+				t.Fatalf("degradation took %s — unbounded retry?", elapsed)
+			}
+			// The shard is marked down: the next read fails fast.
+			if !rss.pools[int(probe.S)%2].isDown() && tc.wantRetry > 0 {
+				t.Fatal("shard not marked down after exhausted retries")
+			}
+			faultpoint.Reset()
+		})
+	}
+
+	t.Run("budget deadline bounds attempts", func(t *testing.T) {
+		rss, err := DialShards(addrs, g.Terms(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rss.Close()
+		faultpoint.Set(faultpoint.RPCCall, faultpoint.Fault{Delay: 300 * time.Millisecond})
+		defer faultpoint.Reset()
+		// The request deadline expires inside the first attempt: no retry
+		// may start after it, and the reason stays "deadline" (first trip
+		// wins).
+		ctx, cancel := contextWithTimeout(40 * time.Millisecond)
+		defer cancel()
+		tr := budget.New(ctx, budget.Limits{})
+		bv := rss.BindRequest(tr, nil)
+		start := time.Now()
+		bv.OutPred(probe.S, probe.P)
+		if e := time.Since(start); e > 500*time.Millisecond {
+			t.Fatalf("deadline-bounded call took %s", e)
+		}
+		st := bv.(*boundRemote).st
+		if st.calls.Load() != 1 {
+			t.Fatalf("calls = %d, want 1 (deadline must stop retries)", st.calls.Load())
+		}
+		if got := tr.Exhausted(); got != budget.ReasonDeadline {
+			t.Fatalf("reason = %q, want %q", got, budget.ReasonDeadline)
+		}
+	})
+
+	t.Run("server error frame is not retried", func(t *testing.T) {
+		rss, err := DialShards(addrs, g.Terms(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rss.Close()
+		faultpoint.Set(faultpoint.RPCCall, faultpoint.Fault{Err: errors.New("synthetic server failure")})
+		defer faultpoint.Reset()
+		_, err = rss.call(nil, 0, []byte{shrOpPing})
+		if err == nil || !strings.Contains(err.Error(), "synthetic server failure") {
+			t.Fatalf("err = %v, want the server-reported error", err)
+		}
+		var srv *errServer
+		if !errors.As(err, &srv) {
+			t.Fatalf("err %T is not a server error", err)
+		}
+	})
+}
+
+// TestRemoteHedgedGather pins the hedge path: with every shard answering
+// slowly (but inside the call timeout), a predicate-major gather launches
+// hedged second attempts and still returns exactly the local result.
+func TestRemoteHedgedGather(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := randomRichGraph(r)
+	sn := buildSnapshot(g, g.gen.Load())
+	addrs, _ := startLoopbackShards(t, g, 2)
+	rss, err := DialShards(addrs, g.Terms(), RemoteOptions{
+		CallTimeout: 2 * time.Second,
+		HedgeAfter:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rss.Close()
+	faultpoint.Set(faultpoint.RPCCall, faultpoint.Fault{Delay: 60 * time.Millisecond})
+	defer faultpoint.Reset()
+
+	var p ID = None
+	for v := ID(0); v < ID(g.NumTerms()); v++ {
+		if sn.PredCount(v) > 0 {
+			p = v
+			break
+		}
+	}
+	if p == None {
+		t.Skip("no predicate in graph")
+	}
+	bv := rss.BindRequest(nil, nil)
+	got := collectExact(bv.Match, Any, p, Any)
+	want := collectExact(sn.Match, Any, p, Any)
+	if !sposEqual(got, want) {
+		t.Fatalf("hedged gather diverges: got %d triples, want %d", len(got), len(want))
+	}
+	if bv.(*boundRemote).st.hedges.Load() == 0 {
+		t.Fatal("no hedge launched despite every shard straggling")
+	}
+}
+
+// TestRemoteShardKilledDegrades kills one live shard server outright and
+// requires reads over the remaining topology to degrade promptly.
+func TestRemoteShardKilledDegrades(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g := randomRichGraph(r)
+	addrs, servers := startLoopbackShards(t, g, 2)
+	rss, err := DialShards(addrs, g.Terms(), RemoteOptions{
+		CallTimeout:  100 * time.Millisecond,
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+		DownCooldown: time.Hour, // stay down for the rest of the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rss.Close()
+
+	servers[1].Close()
+
+	ctx, cancel := contextWithTimeout(5 * time.Second)
+	defer cancel()
+	tr := budget.New(ctx, budget.Limits{})
+	bv := rss.BindRequest(tr, nil)
+
+	// A full scan gathers from both shards: shard 0 serves, shard 1 fails.
+	start := time.Now()
+	count := 0
+	bv.Match(Any, Any, Any, func(Spo) bool { count++; return true })
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("scan over a killed shard took %s", e)
+	}
+	if got := tr.Exhausted(); got != budget.ReasonShard {
+		t.Fatalf("reason = %q, want %q", got, budget.ReasonShard)
+	}
+	// After the breaker opens, further reads to the dead shard are instant.
+	start = time.Now()
+	bv.Match(Any, Any, Any, func(Spo) bool { return true })
+	if e := time.Since(start); e > time.Second {
+		t.Fatalf("post-breaker scan took %s", e)
+	}
+}

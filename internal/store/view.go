@@ -17,7 +17,11 @@ package store
 // Snapshot, it stays a valid pre-mutation read surface forever, even
 // while the mutable Graph is concurrently mutated.
 
-import "gqa/internal/rdf"
+import (
+	"gqa/internal/budget"
+	"gqa/internal/obs"
+	"gqa/internal/rdf"
+)
 
 // View is implemented by *Snapshot and *ShardSet.
 type View interface {
@@ -59,15 +63,59 @@ type View interface {
 	TypeID() ID
 }
 
+// ShardedView is a View partitioned into K vertex-hash shards — the
+// in-process ShardSet or the RemoteShardSet client over K shard servers.
+// The matcher switches to scatter-gather rounds (grouping each round's
+// seeds by the shard owning the seed entity) whenever its view reports
+// more than one shard, without caring whether the shards share its
+// address space.
+type ShardedView interface {
+	View
+	NumShards() int
+}
+
+// RequestBindable is implemented by views whose reads can fail or stall —
+// today the RemoteShardSet. BindRequest scopes the view to one request:
+// per-call deadlines derive from the tracker's deadline, an unrecoverable
+// read failure trips the tracker (FailShardUnavailable) so the request
+// degrades instead of hanging, and RPC telemetry lands on sp. The
+// returned View is cheap (one small allocation) and must be used only
+// for that request. In-process views never implement this — binding is
+// the identity there.
+type RequestBindable interface {
+	BindRequest(b *budget.Tracker, sp *obs.Span) View
+}
+
+// SpanAnnotator lets a bound view flush per-request counters onto the
+// search span after the search completes (the matcher calls it from its
+// stats pass). Implemented by the bound RemoteShardSet.
+type SpanAnnotator interface {
+	AnnotateSpan(sp *obs.Span)
+}
+
+// DegradeReporter lets a bound view report that some of its reads failed
+// and returned empty — the degradation signal for requests whose budget
+// tracker is nil (no deadline, no limits), where FailShardUnavailable
+// had no tracker to trip. The engine consults it after the search when
+// the budget itself reports no exhaustion, so failed remote reads always
+// surface as Truncated/Degraded = "shard-unavailable".
+type DegradeReporter interface {
+	DegradeReason() string
+}
+
 // TypeID returns the interned ID of rdf:type at freeze time, or None.
 func (sn *Snapshot) TypeID() ID { return sn.rdfType }
 
 // FrozenView returns the graph's current frozen read surface: the
+// connected remote shard view when one is installed (SetRemoteView), the
 // installed ShardSet when the graph is sharded (SetShards), the installed
 // Snapshot otherwise, or nil when the graph has mutated since the last
 // freeze (callers then fall back to the mutable structures, exactly as
 // with Frozen).
 func (g *Graph) FrozenView() View {
+	if rv := g.remoteView.Load(); rv != nil {
+		return *rv
+	}
 	if g.shardK > 1 {
 		if ss := g.shards.Load(); ss != nil {
 			return ss
